@@ -1,0 +1,91 @@
+// Google-benchmark microbenchmarks of the checksum primitives: these are
+// the per-element costs behind the section-7 op-count model.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "abft/dmr.hpp"
+#include "checksum/dot.hpp"
+#include "checksum/weights.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace ftfft;
+
+void BM_WeightedSum(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_vector(n, InputDistribution::kUniform, 1);
+  auto w = checksum::input_checksum_vector(n,
+                                           checksum::RaGenMethod::kClosedForm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checksum::weighted_sum(w.data(), x.data(), n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_WeightedSum)->RangeMultiplier(16)->Range(1 << 10, 1 << 18);
+
+void BM_DualWeightedSum(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_vector(n, InputDistribution::kUniform, 2);
+  auto w = checksum::input_checksum_vector(n,
+                                           checksum::RaGenMethod::kClosedForm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        checksum::dual_weighted_sum(w.data(), x.data(), n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DualWeightedSum)->RangeMultiplier(16)->Range(1 << 10, 1 << 18);
+
+void BM_Omega3Sum(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_vector(n, InputDistribution::kUniform, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checksum::omega3_weighted_sum(x.data(), n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Omega3Sum)->RangeMultiplier(16)->Range(1 << 10, 1 << 18);
+
+void BM_RaGenNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checksum::input_checksum_vector(
+        n, checksum::RaGenMethod::kNaiveTrig));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RaGenNaive)->RangeMultiplier(16)->Range(1 << 10, 1 << 16);
+
+void BM_RaGenClosedForm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checksum::input_checksum_vector(
+        n, checksum::RaGenMethod::kClosedForm));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RaGenClosedForm)->RangeMultiplier(16)->Range(1 << 10, 1 << 16);
+
+void BM_DmrTwiddle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_vector(n, InputDistribution::kUniform, 4);
+  std::vector<cplx> out(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(abft::dmr_twiddle_multiply(
+        x.data(), 1, out.data(), n, n * 4, 3, 0, nullptr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DmrTwiddle)->RangeMultiplier(16)->Range(1 << 10, 1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

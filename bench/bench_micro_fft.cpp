@@ -1,0 +1,103 @@
+// Google-benchmark microbenchmarks of the FFT substrate and the protected
+// transforms: per-size throughput of the engines every harness builds on.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "abft/options.hpp"
+#include "abft/inplace.hpp"
+#include "abft/protected_fft.hpp"
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "fft/inplace_radix2.hpp"
+
+namespace {
+
+using namespace ftfft;
+
+void BM_FftForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_vector(n, InputDistribution::kUniform, 1);
+  std::vector<cplx> out(n);
+  fft::Fft engine(n);
+  for (auto _ : state) {
+    engine.execute(x.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftForward)->RangeMultiplier(4)->Range(1 << 10, 1 << 18);
+
+void BM_FftInplaceRadix2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_vector(n, InputDistribution::kUniform, 2);
+  const auto plan = fft::InplaceRadix2Plan::get(n);
+  for (auto _ : state) {
+    plan->forward(x.data());
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftInplaceRadix2)->RangeMultiplier(4)->Range(1 << 10, 1 << 18);
+
+void BM_FftBluestein(benchmark::State& state) {
+  // Large prime: exercises the chirp-z path.
+  const std::size_t n = 4099;
+  auto x = random_vector(n, InputDistribution::kUniform, 3);
+  std::vector<cplx> out(n);
+  fft::Fft engine(n);
+  for (auto _ : state) {
+    engine.execute(x.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FftBluestein);
+
+void protected_bench(benchmark::State& state, const abft::Options& opts) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_vector(n, InputDistribution::kUniform, 4);
+  std::vector<cplx> out(n);
+  abft::Stats stats;
+  abft::protected_transform(x.data(), out.data(), n, opts, stats);  // warm
+  for (auto _ : state) {
+    abft::Stats s;
+    abft::protected_transform(x.data(), out.data(), n, opts, s);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_OfflineComp(benchmark::State& state) {
+  protected_bench(state, abft::Options::offline_opt(false));
+}
+void BM_OnlineComp(benchmark::State& state) {
+  protected_bench(state, abft::Options::online_opt(false));
+}
+void BM_OnlineMem(benchmark::State& state) {
+  protected_bench(state, abft::Options::online_opt(true));
+}
+BENCHMARK(BM_OfflineComp)->RangeMultiplier(4)->Range(1 << 12, 1 << 18);
+BENCHMARK(BM_OnlineComp)->RangeMultiplier(4)->Range(1 << 12, 1 << 18);
+BENCHMARK(BM_OnlineMem)->RangeMultiplier(4)->Range(1 << 12, 1 << 18);
+
+void BM_InplaceOnline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_vector(n, InputDistribution::kUniform, 5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto copy = x;
+    state.ResumeTiming();
+    abft::Stats s;
+    abft::inplace_online_transform(copy.data(), n,
+                                   abft::Options::online_opt(true), s);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_InplaceOnline)->RangeMultiplier(4)->Range(1 << 12, 1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

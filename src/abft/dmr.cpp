@@ -1,0 +1,61 @@
+#include "abft/dmr.hpp"
+
+#include <vector>
+
+#include "common/math_util.hpp"
+
+namespace ftfft::abft {
+namespace {
+
+// Recurrence resync cadence; matches the checksum generator's choice.
+constexpr std::size_t kResyncInterval = 64;
+
+// One twiddle-multiply pass: dst[i] = src[i*stride] * scale * omega_n^(i*step).
+// The twiddle runs on the w *= base recurrence with periodic exact resync.
+void twiddle_pass(const cplx* src, std::size_t stride, cplx* dst,
+                  std::size_t len, std::size_t n, std::size_t step,
+                  cplx scale) {
+  const cplx base = omega(n, step);
+  cplx w = scale;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i % kResyncInterval == 0) {
+      w = cmul(scale, omega(n, static_cast<std::uint64_t>(i) * step));
+    }
+    dst[i] = cmul(src[i * stride], w);
+    w = cmul(w, base);
+  }
+}
+
+}  // namespace
+
+std::size_t dmr_twiddle_multiply(const cplx* src, std::size_t stride,
+                                 cplx* dst, std::size_t len, std::size_t n,
+                                 std::size_t factor_step, std::size_t unit,
+                                 fault::Injector* injector, cplx scale) {
+  twiddle_pass(src, stride, dst, len, n, factor_step, scale);
+  if (injector != nullptr) {
+    injector->apply(fault::Phase::kTwiddleDmrCopy, unit, dst, len);
+  }
+  // Second redundant execution into a thread-local staging buffer.
+  thread_local std::vector<cplx> second;
+  if (second.size() < len) second.resize(len);
+  twiddle_pass(src, stride, second.data(), len, n, factor_step, scale);
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (dst[i] != second[i]) {
+      // Third execution of just this element, exact table lookup; majority
+      // vote between the three results.
+      const cplx third = cmul(
+          src[i * stride],
+          cmul(scale, omega(n, static_cast<std::uint64_t>(i) * factor_step)));
+      dst[i] = (second[i] == third) ? second[i]
+               : (dst[i] == third)  ? dst[i]
+                                    : third;
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace ftfft::abft

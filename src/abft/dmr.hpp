@@ -1,0 +1,30 @@
+// Duplicated-execution (DMR) twiddle multiplication with majority vote.
+//
+// The twiddle stage between the two ABFT layers cannot be checksummed (an
+// error there corrupts the *input* of the second layer before its checksum
+// exists), so the paper protects it with DMR: compute twice, compare, and on
+// mismatch compute a third time and take the majority (section 3.1).
+#pragma once
+
+#include <cstddef>
+
+#include "common/complex.hpp"
+#include "fault/injector.hpp"
+
+namespace ftfft::abft {
+
+/// Computes dst[i] = src[i * stride] * scale * omega_N^(i * factor_step)
+/// for i in [0, len) twice, votes on mismatch. The constant prefactor
+/// `scale` lets distributed callers express omega_N^(base + i*step) twiddles
+/// without a second table. src and dst must not overlap.
+///
+/// `unit` tags the injector hook (phase kTwiddleDmrCopy fires on the first
+/// redundant copy). Returns the number of elementwise mismatches repaired by
+/// the vote; 0 on a fault-free run.
+std::size_t dmr_twiddle_multiply(const cplx* src, std::size_t stride,
+                                 cplx* dst, std::size_t len, std::size_t n,
+                                 std::size_t factor_step, std::size_t unit,
+                                 fault::Injector* injector,
+                                 cplx scale = cplx{1.0, 0.0});
+
+}  // namespace ftfft::abft

@@ -1,0 +1,377 @@
+#include "abft/inplace.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "abft/dmr.hpp"
+#include "checksum/dot.hpp"
+#include "checksum/memory_checksum.hpp"
+#include "checksum/weights.hpp"
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "dft/codelets.hpp"
+#include "fft/fft.hpp"
+#include "roundoff/model.hpp"
+
+namespace ftfft::abft {
+namespace {
+
+using checksum::DualSum;
+using fault::Phase;
+
+double sigma_of(double energy, std::size_t n) {
+  return std::sqrt(energy / (2.0 * static_cast<double>(n)) + 1e-300);
+}
+
+class InplaceRun {
+ public:
+  InplaceRun(cplx* data, std::size_t n, const Options& opts, Stats& stats)
+      : x_(data), n_(n), opts_(opts), stats_(stats) {
+    const InplaceShape shape = inplace_shape(n);
+    k_ = shape.k;
+    r_ = shape.r;
+    blk_ = r_ * k_;  // block length; also stride and count of layer 1
+  }
+
+  void run() {
+    setup();
+    layer1();
+    if (inj() != nullptr) inj()->apply(Phase::kIntermediate, 0, x_, n_);
+    layers2and3();
+    finalize();
+  }
+
+ private:
+  double eta_comp(double energy) const {
+    return opts_.eta_override > 0.0
+               ? opts_.eta_override
+               : roundoff::practical_eta(k_, sigma_of(energy, k_));
+  }
+  double eta_mem(double energy) const {
+    return opts_.eta_override > 0.0
+               ? opts_.eta_override
+               : roundoff::practical_eta_memory(k_, sigma_of(energy, k_));
+  }
+
+  void setup() {
+    ck_ = checksum::input_checksum_vector_dmr(k_, opts_.ra_method);
+    if (inj() != nullptr) inj()->apply(Phase::kInputBeforeChecksum, 0, x_, n_);
+    if (opts_.memory_ft) {
+      // CMCG: slot i covers the layer-1 sub-FFT over x[s*blk + i].
+      s1_.assign(blk_, cplx{0, 0});
+      s2_.assign(blk_, cplx{0, 0});
+      e_in_.assign(blk_, 0.0);
+      const cplx* w = opts_.combined_checksums ? ck_.data() : nullptr;
+      for (std::size_t s = 0; s < k_; ++s) {
+        const cplx ws = (w != nullptr) ? w[s] : cplx{1.0, 0.0};
+        const double sd = static_cast<double>(s);
+        const cplx* row = x_ + s * blk_;
+        for (std::size_t i = 0; i < blk_; ++i) {
+          const cplx p = cmul(ws, row[i]);
+          s1_[i] += p;
+          s2_[i] += sd * p;
+          e_in_[i] += norm2(row[i]);
+        }
+      }
+    }
+    if (inj() != nullptr) inj()->apply(Phase::kInputAfterChecksum, 0, x_, n_);
+  }
+
+  // Layer 1: blk_ sub-FFTs of size k_ at stride blk_. The gathered buffer
+  // is the Fig. 4 input backup: it stays untouched until the output has
+  // verified, so a retry never needs the (about to be overwritten) array.
+  void layer1() {
+    fft::Fft fftk(k_);
+    std::vector<cplx> buf(k_), res(k_);
+    if (opts_.memory_ft) {
+      b1_.assign(k_, DualSum{});
+      e_blk_.assign(k_, 0.0);
+    }
+    for (std::size_t i = 0; i < blk_; ++i) {
+      double energy = 0.0;
+      for (std::size_t s = 0; s < k_; ++s) {
+        buf[s] = x_[s * blk_ + i];
+        energy += norm2(buf[s]);
+      }
+      if (opts_.memory_ft && e_in_[i] > 0.0) energy = e_in_[i];
+
+      cplx ccg;
+      if (opts_.memory_ft && opts_.combined_checksums) {
+        ccg = s1_[i];
+        if (!opts_.postpone_mcv) repair_input_slot(i, buf.data());
+      } else {
+        if (opts_.memory_ft && !opts_.postpone_mcv) {
+          repair_input_slot(i, buf.data());
+        }
+        ccg = checksum::weighted_sum(ck_.data(), buf.data(), k_);
+      }
+
+      const double eta = eta_comp(energy);
+      stats_.eta_m = std::max(stats_.eta_m, eta);
+      for (int attempt = 0;; ++attempt) {
+        fftk.execute(buf.data(), res.data());
+        if (inj() != nullptr) {
+          inj()->apply(Phase::kMFftOutput, i, res.data(), k_);
+        }
+        const cplx rx = checksum::omega3_weighted_sum(res.data(), k_);
+        ++stats_.verifications;
+        if (std::abs(rx - ccg) <= eta) break;
+        if (attempt >= opts_.max_retries) {
+          throw UncorrectableError(
+              "inplace ABFT: layer-1 sub-FFT kept failing verification");
+        }
+        ++stats_.sub_fft_retries;
+        if (opts_.memory_ft) {
+          if (repair_input_slot(i, buf.data())) {
+            if (!opts_.combined_checksums) {
+              ccg = checksum::weighted_sum(ck_.data(), buf.data(), k_);
+            }
+            continue;
+          }
+        }
+        ++stats_.comp_errors_detected;
+      }
+
+      // Scatter back; fold the output into the per-block checksums that
+      // protect the window until layer 2 consumes the block.
+      for (std::size_t s = 0; s < k_; ++s) {
+        x_[s * blk_ + i] = res[s];
+        if (opts_.memory_ft) {
+          b1_[s].plain += res[s];
+          b1_[s].indexed += static_cast<double>(i) * res[s];
+          e_blk_[s] += norm2(res[s]);
+        }
+      }
+    }
+  }
+
+  /// Verifies the layer-1 input slot against its CMCG checksums using the
+  /// gathered buffer and repairs a localized corruption (in the buffer —
+  /// the array positions are about to be overwritten by the scatter).
+  bool repair_input_slot(std::size_t i, cplx* buf) {
+    if (!opts_.memory_ft) return false;
+    const cplx* w = opts_.combined_checksums ? ck_.data() : nullptr;
+    const DualSum stored{s1_[i], s2_[i]};
+    // Combined checksums carry the large (rA) weights: computational-scale
+    // threshold. Classic ones use the summation-scale memory threshold.
+    const double eta =
+        opts_.combined_checksums ? eta_comp(e_in_[i]) : eta_mem(e_in_[i]);
+    stats_.eta_mem = std::max(stats_.eta_mem, eta);
+    const auto rep = checksum::repair_single_error(stored, buf, 1, w, k_, eta,
+                                                   opts_.max_retries);
+    ++stats_.verifications;
+    if (!rep.mismatch) return false;
+    ++stats_.mem_errors_detected;
+    if (!rep.corrected) {
+      throw UncorrectableError(
+          "inplace ABFT: layer-1 input memory error not localizable");
+    }
+    ++stats_.mem_errors_corrected;
+    return true;
+  }
+
+  // Layers 2+3, block by block. Each block of blk_ = r*k contiguous
+  // elements gets: MCV, TM1 (DMR), the r-point middle layer + TM2 (DMR,
+  // skipped when r == 1), then r protected k-point sub-FFTs.
+  void layers2and3() {
+    fft::Fft fftk(k_);
+    std::vector<cplx> bb(blk_);   // staged block
+    std::vector<cplx> seg(k_);    // layer-3 result staging
+    std::vector<cplx> ra(r_), rb(r_), rc(r_);
+    f1_.assign(k_ * r_, DualSum{});
+    fccv_.assign(k_ * r_, cplx{0, 0});
+    e_seg_.assign(k_ * r_, 0.0);
+
+    for (std::size_t b = 0; b < k_; ++b) {
+      cplx* block = x_ + b * blk_;
+      if (opts_.memory_ft) {
+        const double eta = opts_.eta_override > 0.0
+                               ? opts_.eta_override
+                               : roundoff::practical_eta_memory(
+                                     blk_, sigma_of(e_blk_[b], blk_));
+        const auto rep = checksum::repair_single_error(
+            b1_[b], block, 1, nullptr, blk_, eta, opts_.max_retries);
+        ++stats_.verifications;
+        if (rep.mismatch) {
+          ++stats_.mem_errors_detected;
+          if (!rep.corrected) {
+            throw UncorrectableError(
+                "inplace ABFT: block memory error not localizable");
+          }
+          ++stats_.mem_errors_corrected;
+        }
+      }
+
+      // TM1: element offset i of block b gets omega_n^(i*b).
+      stats_.dmr_mismatches +=
+          dmr_twiddle_multiply(block, 1, bb.data(), blk_, n_, b, b, inj());
+
+      if (r_ > 1) middle_layer(b, bb.data());
+
+      // Layer 3: r contiguous k-point sub-FFTs within the staged block.
+      for (std::size_t t = 0; t < r_; ++t) {
+        cplx* src = bb.data() + t * k_;
+        const auto se = checksum::weighted_sum_energy(ck_.data(), src, k_);
+        const std::size_t unit = b * r_ + t;
+        const double eta = eta_comp(se.energy);
+        stats_.eta_k = std::max(stats_.eta_k, eta);
+        for (int attempt = 0;; ++attempt) {
+          fftk.execute(src, seg.data());
+          if (inj() != nullptr) {
+            inj()->apply(Phase::kKFftOutput, unit, seg.data(), k_);
+          }
+          const cplx rx = checksum::omega3_weighted_sum(seg.data(), k_);
+          ++stats_.verifications;
+          if (std::abs(rx - se.sum) <= eta) break;
+          if (attempt >= opts_.max_retries) {
+            throw UncorrectableError(
+                "inplace ABFT: layer-3 sub-FFT kept failing verification");
+          }
+          ++stats_.comp_errors_detected;
+          ++stats_.sub_fft_retries;
+        }
+        // Output MCG for the postponed final verification (dual sums allow
+        // direct correction — an in-place plan has no backup to recompute
+        // from once the block is overwritten).
+        f1_[unit] = checksum::dual_weighted_sum(nullptr, seg.data(), k_);
+        fccv_[unit] = se.sum;
+        e_seg_[unit] = se.energy;
+        std::memcpy(src, seg.data(), k_ * sizeof(cplx));
+      }
+      std::memcpy(block, bb.data(), blk_ * sizeof(cplx));
+    }
+  }
+
+  // DMR-protected middle layer: k_ r-point sub-FFTs at stride k_ within the
+  // block, fused with the TM2 twiddle omega_blk^(i*t). Everything is
+  // computed twice and voted with a third evaluation on mismatch.
+  void middle_layer(std::size_t b, cplx* bb) {
+    std::vector<cplx> in(r_), out1(r_), out2(r_);
+    for (std::size_t i = 0; i < k_; ++i) {
+      for (std::size_t s = 0; s < r_; ++s) in[s] = bb[s * k_ + i];
+      auto pass = [&](cplx* out) {
+        dft::codelet_dft(r_, in.data(), 1, out, 1);
+        for (std::size_t t = 0; t < r_; ++t) {
+          out[t] = cmul(out[t], omega(blk_, static_cast<std::uint64_t>(i) * t));
+        }
+      };
+      pass(out1.data());
+      if (inj() != nullptr) {
+        inj()->apply(Phase::kMiddleDmrCopy, b * k_ + i, out1.data(), r_);
+      }
+      pass(out2.data());
+      for (std::size_t t = 0; t < r_; ++t) {
+        if (out1[t] != out2[t]) {
+          // Third evaluation + majority vote.
+          std::vector<cplx> out3(r_);
+          pass(out3.data());
+          out1[t] = (out2[t] == out3[t]) ? out2[t] : out1[t];
+          ++stats_.dmr_mismatches;
+        }
+      }
+      for (std::size_t t = 0; t < r_; ++t) bb[t * k_ + i] = out1[t];
+    }
+  }
+
+  // Final verification + digit-reversal permutation to natural order.
+  void finalize() {
+    if (inj() != nullptr) inj()->apply(Phase::kFinalOutput, 0, x_, n_);
+    cplx presum{0, 0};
+    if (opts_.memory_ft) {
+      // Verify every layer-3 segment against its saved checksum; localize
+      // and correct through the output duals.
+      for (std::size_t b = 0; b < k_; ++b) {
+        for (std::size_t t = 0; t < r_; ++t) {
+          const std::size_t unit = b * r_ + t;
+          cplx* seg = x_ + b * blk_ + t * k_;
+          const cplx rx = checksum::omega3_weighted_sum(seg, k_);
+          ++stats_.verifications;
+          if (std::abs(rx - fccv_[unit]) <= eta_comp(e_seg_[unit])) continue;
+          ++stats_.mem_errors_detected;
+          const auto rep = checksum::repair_single_error(
+              f1_[unit], seg, 1, nullptr, k_, eta_mem(e_seg_[unit]),
+              opts_.max_retries);
+          if (!rep.corrected) {
+            throw UncorrectableError(
+                "inplace ABFT: final output memory error not localizable");
+          }
+          ++stats_.mem_errors_corrected;
+        }
+      }
+      // Permutation-invariant guard over the swap pass below.
+      for (std::size_t t = 0; t < n_; ++t) presum += x_[t];
+    }
+
+    krk_digit_reverse_permute(x_, k_, r_);
+
+    if (opts_.memory_ft) {
+      cplx postsum{0, 0};
+      for (std::size_t t = 0; t < n_; ++t) postsum += x_[t];
+      ++stats_.verifications;
+      const double eta = opts_.eta_override > 0.0
+                             ? opts_.eta_override
+                             : roundoff::practical_eta_memory(
+                                   n_, sigma_of(checksum::energy(x_, n_), n_));
+      if (std::abs(postsum - presum) > eta) {
+        throw UncorrectableError(
+            "inplace ABFT: memory fault during the final permutation "
+            "(detect-only window)");
+      }
+    }
+  }
+
+  fault::Injector* inj() const { return opts_.injector; }
+
+  cplx* x_;
+  std::size_t n_, k_ = 0, r_ = 0, blk_ = 0;
+  const Options& opts_;
+  Stats& stats_;
+
+  std::vector<cplx> ck_;
+  std::vector<cplx> s1_, s2_;     // CMCG slots (layer-1 inputs)
+  std::vector<double> e_in_;
+  std::vector<DualSum> b1_;       // per-block checksums (intermediate window)
+  std::vector<double> e_blk_;
+  std::vector<DualSum> f1_;       // per-segment output duals
+  std::vector<cplx> fccv_;        // per-segment computational checksums
+  std::vector<double> e_seg_;
+};
+
+}  // namespace
+
+InplaceShape inplace_shape(std::size_t n) {
+  const auto [k, r] = square_split(n);
+  if (k < 2) {
+    throw std::invalid_argument(
+        "inplace ABFT: n has no square factor, nothing to decompose");
+  }
+  if (k % 3 == 0) {
+    throw std::invalid_argument(
+        "inplace ABFT: outer sub-FFT size divisible by 3 degenerates the "
+        "checksum encoding");
+  }
+  return {k, r};
+}
+
+void krk_digit_reverse_permute(cplx* data, std::size_t k, std::size_t r) {
+  const std::size_t blk = r * k;
+  for (std::size_t d2 = 0; d2 < k; ++d2) {
+    for (std::size_t d1 = 0; d1 < r; ++d1) {
+      for (std::size_t d0 = 0; d0 < k; ++d0) {
+        const std::size_t p = d0 + d1 * k + d2 * blk;
+        const std::size_t q = d2 + d1 * k + d0 * blk;
+        if (p < q) std::swap(data[p], data[q]);
+      }
+    }
+  }
+}
+
+void inplace_online_transform(cplx* data, std::size_t n, const Options& opts,
+                              Stats& stats) {
+  detail::require(n >= 4, "inplace_online_transform: n must be >= 4");
+  InplaceRun run(data, n, opts, stats);
+  run.run();
+}
+
+}  // namespace ftfft::abft

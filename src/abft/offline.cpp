@@ -1,0 +1,114 @@
+#include "abft/offline.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "checksum/dot.hpp"
+#include "checksum/memory_checksum.hpp"
+#include "checksum/weights.hpp"
+#include "common/error.hpp"
+#include "fft/fft.hpp"
+#include "roundoff/model.hpp"
+
+namespace ftfft::abft {
+
+using checksum::DualSum;
+using fault::Phase;
+
+void offline_transform(cplx* in, cplx* out, std::size_t n,
+                       const Options& opts, Stats& stats) {
+  detail::require(n >= 1, "offline_transform: n must be >= 1");
+  fault::Injector* inj = opts.injector;
+
+  if (inj != nullptr) inj->apply(Phase::kInputBeforeChecksum, 0, in, n);
+
+  // --- Checksum generation ---------------------------------------------
+  const std::vector<cplx> ra = checksum::input_checksum_vector(n, opts.ra_method);
+
+  cplx ccg;          // (rA) x — the computational reference value
+  DualSum mem_ref;   // stored memory checksums (memory_ft only)
+  double energy;
+  const cplx* mem_weights = nullptr;  // nullptr = classic all-ones r1/r2
+  if (opts.memory_ft) {
+    if (opts.combined_checksums) {
+      // Section 4.1: r1' = rA, r2'_j = j (rA)_j; the plain component doubles
+      // as the CCG product.
+      const auto d = checksum::dual_weighted_sum_energy(ra.data(), in, n);
+      mem_ref = d.sums;
+      ccg = d.sums.plain;
+      energy = d.energy;
+      mem_weights = ra.data();
+    } else {
+      // Classic r1 = ones, r2 = index, plus a separate CCG pass — the 14N
+      // generation cost the combined scheme reduces to 10N.
+      const auto d = checksum::dual_weighted_sum_energy(nullptr, in, n);
+      mem_ref = d.sums;
+      energy = d.energy;
+      ccg = checksum::weighted_sum(ra.data(), in, n);
+    }
+  } else {
+    const auto s = checksum::weighted_sum_energy(ra.data(), in, n);
+    ccg = s.sum;
+    energy = s.energy;
+  }
+
+  const double sigma0 =
+      std::sqrt(energy / (2.0 * static_cast<double>(n)) + 1e-300);
+  const double eta = opts.eta_override > 0.0
+                         ? opts.eta_override
+                         : roundoff::practical_eta(n, sigma0);
+  const double eta_mem = opts.eta_override > 0.0
+                             ? opts.eta_override
+                             : roundoff::practical_eta_memory(n, sigma0);
+  stats.eta_m = eta;
+  stats.eta_mem = eta_mem;
+
+  if (inj != nullptr) inj->apply(Phase::kInputAfterChecksum, 0, in, n);
+
+  // --- Compute + verify loop --------------------------------------------
+  fft::Fft engine(n);
+  for (int attempt = 0;; ++attempt) {
+    engine.execute(in, out);
+    if (inj != nullptr) {
+      inj->apply(Phase::kWholeFftOutput, 0, out, n);
+      inj->apply(Phase::kIntermediate, 0, out, n);
+      inj->apply(Phase::kFinalOutput, 0, out, n);
+    }
+    const cplx rx = checksum::omega3_weighted_sum(out, n);
+    ++stats.verifications;
+    if (std::abs(rx - ccg) <= eta) return;  // verified
+
+    if (attempt >= opts.max_retries) {
+      throw UncorrectableError(
+          "offline ABFT: verification failed after max_retries; "
+          "single-fault model violated or threshold too tight");
+    }
+
+    if (opts.memory_ft) {
+      // Discriminate input memory corruption from a computational error:
+      // recompute the stored input checksums, localize and iteratively
+      // repair. Combined checksums carry the O(n)-magnitude (rA) weights,
+      // so their comparison threshold is the computational eta.
+      const double eta_disc = opts.combined_checksums ? eta : eta_mem;
+      const auto rep = checksum::repair_single_error(
+          mem_ref, in, 1, mem_weights, n, eta_disc, opts.max_retries);
+      if (rep.mismatch) {
+        ++stats.mem_errors_detected;
+        if (!rep.corrected) {
+          throw UncorrectableError(
+              "offline ABFT: input memory error detected but could not be "
+              "localized");
+        }
+        ++stats.mem_errors_corrected;
+      } else {
+        ++stats.comp_errors_detected;
+      }
+    } else {
+      ++stats.comp_errors_detected;
+    }
+    // Offline recovery is always a full re-execution of the transform.
+    ++stats.full_restarts;
+  }
+}
+
+}  // namespace ftfft::abft

@@ -1,0 +1,25 @@
+// Offline ABFT FFT (paper Algorithm 1, plus the memory-FT extension).
+//
+// One checksum relation protects the whole N-point transform: generate the
+// input checksum (rA)x before computing, run the FFT, compare against the
+// omega_3-weighted output sum. Detection therefore happens only after the
+// full transform, and a computational error costs a complete re-execution —
+// the inefficiency the online scheme (online.hpp) removes.
+#pragma once
+
+#include <cstddef>
+
+#include "abft/options.hpp"
+#include "common/complex.hpp"
+
+namespace ftfft::abft {
+
+/// Protected out-of-place forward DFT under Mode::kOffline semantics.
+/// `in` is non-const because memory-fault correction repairs the caller's
+/// array in place (and the fault injector corrupts it); fault-free runs
+/// leave it unmodified. Throws UncorrectableError when verification keeps
+/// failing beyond opts.max_retries (single-fault model violated).
+void offline_transform(cplx* in, cplx* out, std::size_t n,
+                       const Options& opts, Stats& stats);
+
+}  // namespace ftfft::abft

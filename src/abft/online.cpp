@@ -1,0 +1,513 @@
+#include "abft/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "abft/dmr.hpp"
+#include "checksum/dot.hpp"
+#include "checksum/memory_checksum.hpp"
+#include "checksum/weights.hpp"
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "fft/fft.hpp"
+#include "roundoff/model.hpp"
+
+namespace ftfft::abft {
+namespace {
+
+using checksum::DualSum;
+using fault::Phase;
+
+// Staging block target in complex elements (~512 KiB): phase-3 columns are
+// staged through it so the strided intermediate is read once, row-wise.
+constexpr std::size_t kStageElems = 32768;
+
+double sigma_from_energy(double energy, std::size_t n) {
+  return std::sqrt(energy / (2.0 * static_cast<double>(n)) + 1e-300);
+}
+
+/// All state of one protected online transform run.
+class OnlineRun {
+ public:
+  OnlineRun(cplx* in, cplx* out, std::size_t n, const Options& opts,
+            Stats& stats)
+      : x_(in), out_(out), n_(n), opts_(opts), stats_(stats) {
+    const auto split = balanced_split(n);
+    m_ = split.first;
+    k_ = split.second;
+    // Postponing the first-layer MCV into the CCV is only sound when the
+    // memory checksum *is* the computational one (section 4.1 + 4.2).
+    postpone1_ = opts_.postpone_mcv && opts_.combined_checksums;
+  }
+
+  void run() {
+    setup();
+    first_layer();
+    between_layers();
+    second_layer();
+    finalize();
+  }
+
+ private:
+  // ---------------------------------------------------------------- setup
+  void setup() {
+    cm_ = checksum::input_checksum_vector_dmr(m_, opts_.ra_method);
+    ck_ = checksum::input_checksum_vector_dmr(k_, opts_.ra_method);
+    if (inj() != nullptr) inj()->apply(Phase::kInputBeforeChecksum, 0, x_, n_);
+
+    e_in_.assign(k_, 0.0);
+    if (opts_.memory_ft) {
+      // CMCG: one contiguous pass over the input builds the per-sub-FFT
+      // dual checksums (slot i covers elements x[t*k + i]).
+      s1_.assign(k_, cplx{0, 0});
+      s2_.assign(k_, cplx{0, 0});
+      for (std::size_t t = 0; t < m_; ++t) {
+        const cplx w = opts_.combined_checksums ? cm_[t] : cplx{1.0, 0.0};
+        const double td = static_cast<double>(t);
+        const cplx* row = x_ + t * k_;
+        for (std::size_t i = 0; i < k_; ++i) {
+          const cplx p = cmul(w, row[i]);
+          s1_[i] += p;
+          s2_[i] += td * p;
+          e_in_[i] += norm2(row[i]);
+        }
+      }
+    }
+    if (inj() != nullptr) inj()->apply(Phase::kInputAfterChecksum, 0, x_, n_);
+  }
+
+  // ---------------------------------------------------------- first layer
+  void first_layer() {
+    fft::Fft fftm(m_);
+    if (opts_.memory_ft && opts_.incremental_mcg) {
+      o1_.assign(m_, cplx{0, 0});
+      o2_.assign(m_, cplx{0, 0});
+      e_mid_.assign(m_, 0.0);
+    } else if (opts_.memory_ft) {
+      r1_.assign(k_, DualSum{});
+    }
+
+    // Section 4.4 staging: gather a batch of sub-FFT inputs with a tiled
+    // transpose — the input is read row-wise (contiguous runs of `batch`),
+    // and the batch keeps only `batch` destination cache lines live — then
+    // every checksum/FFT pass runs over contiguous buffers.
+    const std::size_t batch =
+        opts_.contiguous_buffering
+            ? std::clamp<std::size_t>(kStageElems / m_, 4, k_)
+            : 1;
+    std::vector<cplx> bufblock(opts_.contiguous_buffering ? batch * m_ : 0);
+
+    for (std::size_t i0 = 0; i0 < k_; i0 += batch) {
+      const std::size_t bw = std::min(batch, k_ - i0);
+      if (opts_.contiguous_buffering) {
+        for (std::size_t t = 0; t < m_; ++t) {
+          const cplx* row = x_ + t * k_ + i0;
+          for (std::size_t i = 0; i < bw; ++i) bufblock[i * m_ + t] = row[i];
+        }
+      }
+      for (std::size_t il = 0; il < bw; ++il) {
+        run_sub_fft(i0 + il,
+                    opts_.contiguous_buffering ? bufblock.data() + il * m_
+                                               : nullptr,
+                    fftm);
+      }
+    }
+  }
+
+  // One protected m-point sub-FFT. `buf` is the staged contiguous input
+  // (nullptr = unbuffered strided execution straight off x_).
+  void run_sub_fft(std::size_t i, cplx* buf, fft::Fft& fftm) {
+    cplx ccg;  // reference value the CCV compares against
+    const bool have_cmcg = opts_.memory_ft;
+
+    if (have_cmcg && !postpone1_) {
+      // Naive hierarchy (Fig. 2): verify the input slot before use.
+      if (verify_and_repair_input(i) && buf != nullptr) regather(i, buf);
+    }
+
+    if (have_cmcg && opts_.combined_checksums) {
+      // Section 4.1: the stored combined checksum IS the CCG product.
+      ccg = s1_[i];
+    } else if (buf != nullptr) {
+      const auto se = checksum::weighted_sum_energy(cm_.data(), buf, m_);
+      ccg = se.sum;
+      if (!have_cmcg) e_in_[i] = se.energy;
+    } else {
+      // Strided CCG straight off the input: the expensive second strided
+      // read the buffering optimization removes.
+      const auto se = checksum::weighted_sum_energy(cm_.data(), x_ + i, m_, k_);
+      ccg = se.sum;
+      if (!have_cmcg) e_in_[i] = se.energy;
+    }
+
+    const double sigma_i = sigma_from_energy(e_in_[i], m_);
+    const double eta = opts_.eta_override > 0.0
+                           ? opts_.eta_override
+                           : roundoff::practical_eta(m_, sigma_i);
+    stats_.eta_m = std::max(stats_.eta_m, eta);
+
+    cplx* yi = out_ + i * m_;
+    for (int attempt = 0;; ++attempt) {
+      if (buf != nullptr) {
+        fftm.execute(buf, yi);
+      } else {
+        fftm.execute_strided(x_ + i, k_, yi, 1);
+      }
+      if (inj() != nullptr) inj()->apply(Phase::kMFftOutput, i, yi, m_);
+      const cplx rx = checksum::omega3_weighted_sum(yi, m_);
+      ++stats_.verifications;
+      if (std::abs(rx - ccg) <= eta) break;
+      if (attempt >= opts_.max_retries) {
+        throw UncorrectableError(
+            "online ABFT: m-point sub-FFT kept failing verification");
+      }
+      ++stats_.sub_fft_retries;
+      if (opts_.memory_ft) {
+        // Postponed discrimination: is the input slot itself corrupted?
+        const bool repaired = verify_and_repair_input(i);
+        if (repaired) {
+          if (buf != nullptr) regather(i, buf);
+          if (!opts_.combined_checksums) {
+            // Classic checksums: the CCG product must be rebuilt from the
+            // repaired input.
+            ccg = buf != nullptr
+                      ? checksum::weighted_sum(cm_.data(), buf, m_)
+                      : checksum::weighted_sum(cm_.data(), x_ + i, m_, k_);
+          }
+          continue;
+        }
+      }
+      ++stats_.comp_errors_detected;
+    }
+
+    if (opts_.memory_ft) {
+      if (opts_.incremental_mcg) {
+        // Section 4.3: fold this sub-FFT's output into the column checksums
+        // of the second layer while it is still cache-hot. (Column energies
+        // are collected later, during the column MCV pass, to keep this hot
+        // loop lean.)
+        const double id = static_cast<double>(i);
+        for (std::size_t c = 0; c < m_; ++c) {
+          o1_[c] += yi[c];
+          o2_[c] += id * yi[c];
+        }
+      } else {
+        // Naive hierarchy: row checksums over this sub-FFT's output; the
+        // column checksums are regenerated in a separate pass later.
+        r1_[i] = checksum::dual_weighted_sum(nullptr, yi, m_);
+      }
+    }
+  }
+
+  // Refreshes the staged copy of sub-FFT i's input (rare repair path).
+  void regather(std::size_t i, cplx* buf) {
+    for (std::size_t t = 0; t < m_; ++t) buf[t] = x_[t * k_ + i];
+  }
+
+  /// Recomputes the stored input checksums of sub-FFT slot i over the
+  /// (strided) input and repairs a localized memory error (iterating until
+  /// the residual clears the threshold). Returns true if a corruption was
+  /// found and fixed.
+  bool verify_and_repair_input(std::size_t i) {
+    const cplx* weights =
+        opts_.combined_checksums ? cm_.data() : nullptr;
+    const double sigma_i = sigma_from_energy(e_in_[i], m_);
+    const double eta_mem =
+        opts_.eta_override > 0.0
+            ? opts_.eta_override
+            : (opts_.combined_checksums
+                   ? roundoff::practical_eta(m_, sigma_i)
+                   : roundoff::practical_eta_memory(m_, sigma_i));
+    stats_.eta_mem = std::max(stats_.eta_mem, eta_mem);
+    const DualSum stored{s1_[i], s2_[i]};
+    const auto rep = checksum::repair_single_error(
+        stored, x_ + i, k_, weights, m_, eta_mem, opts_.max_retries);
+    ++stats_.verifications;
+    if (!rep.mismatch) return false;
+    ++stats_.mem_errors_detected;
+    if (!rep.corrected) {
+      throw UncorrectableError(
+          "online ABFT: input memory error detected but not localizable");
+    }
+    ++stats_.mem_errors_corrected;
+    return true;
+  }
+
+  // ------------------------------------------------------- between layers
+  void between_layers() {
+    if (inj() != nullptr) inj()->apply(Phase::kIntermediate, 0, out_, n_);
+    if (!opts_.memory_ft) return;
+
+    if (!opts_.incremental_mcg) {
+      // Fig. 2 regeneration pass: verify every row checksum, then build the
+      // column checksums the second layer verifies against. This touches
+      // every element a second time — the cost section 4.3 eliminates.
+      o1_.assign(m_, cplx{0, 0});
+      o2_.assign(m_, cplx{0, 0});
+      e_mid_.assign(m_, 0.0);
+      for (std::size_t i = 0; i < k_; ++i) {
+        cplx* yi = out_ + i * m_;
+        // The row may hold the very corruption being hunted: use the
+        // outlier-robust energy so eta is not inflated by it.
+        const double sigma =
+            sigma_from_energy(checksum::robust_energy(yi, m_), m_);
+        const double eta_mem =
+            opts_.eta_override > 0.0
+                ? opts_.eta_override
+                : roundoff::practical_eta_memory(m_, sigma);
+        const auto rep = checksum::repair_single_error(
+            r1_[i], yi, 1, nullptr, m_, eta_mem, opts_.max_retries);
+        ++stats_.verifications;
+        if (rep.mismatch) {
+          ++stats_.mem_errors_detected;
+          if (!rep.corrected) {
+            throw UncorrectableError(
+                "online ABFT: intermediate memory error not localizable");
+          }
+          ++stats_.mem_errors_corrected;
+        }
+        const double id = static_cast<double>(i);
+        for (std::size_t c = 0; c < m_; ++c) {
+          o1_[c] += yi[c];
+          o2_[c] += id * yi[c];
+          e_mid_[c] += norm2(yi[c]);
+        }
+      }
+    }
+
+    if (opts_.postpone_mcv) {
+      // Section 4.2: the per-column output verification is postponed to one
+      // final pass; recovery then needs the pre-second-layer state. Park it
+      // in the caller's input (paper's choice) or internal scratch.
+      if (opts_.backup_in_input) {
+        backup_ = x_;
+      } else {
+        backup_store_.resize(n_);
+        backup_ = backup_store_.data();
+      }
+      std::memcpy(backup_, out_, n_ * sizeof(cplx));
+    }
+  }
+
+  // ---------------------------------------------------------- second layer
+  void second_layer() {
+    fft::Fft fftk(k_);
+    std::vector<cplx> tw(k_), res(k_);
+    col_ccv_.assign(m_, cplx{0, 0});
+    if (!opts_.memory_ft) e_mid_.assign(m_, 0.0);
+    if (opts_.memory_ft && !opts_.postpone_mcv) f1_.assign(m_, DualSum{});
+
+    // Stage `s` columns at a time (section 4.4 on the second layer, the
+    // paper's "s k-FFTs"): the strided intermediate is loaded row-wise into
+    // a column-major block, every per-column pass then runs contiguous, and
+    // the verified results are written back row-wise in one batched pass.
+    const std::size_t s =
+        opts_.contiguous_buffering
+            ? std::clamp<std::size_t>(
+                  opts_.batch_columns != 0
+                      ? opts_.batch_columns
+                      : kStageElems / std::max<std::size_t>(k_, 1),
+                  1, m_)
+            : 1;
+    std::vector<cplx> stage(opts_.contiguous_buffering ? s * k_ : 0);
+    std::vector<cplx> ostage(opts_.contiguous_buffering ? s * k_ : 0);
+
+    for (std::size_t c0 = 0; c0 < m_; c0 += s) {
+      const std::size_t sc = std::min(s, m_ - c0);
+      if (opts_.contiguous_buffering) {
+        // Row-wise load into column-major staging.
+        for (std::size_t i = 0; i < k_; ++i) {
+          const cplx* row = out_ + i * m_ + c0;
+          for (std::size_t c = 0; c < sc; ++c) stage[c * k_ + i] = row[c];
+        }
+        for (std::size_t c = 0; c < sc; ++c) {
+          process_column(c0 + c, stage.data() + c * k_, 1, fftk, tw.data(),
+                         ostage.data() + c * k_);
+        }
+        // Row-wise write-back of the verified results: out[j*m + c] gets
+        // result element j of column c.
+        for (std::size_t j = 0; j < k_; ++j) {
+          cplx* row = out_ + j * m_ + c0;
+          for (std::size_t c = 0; c < sc; ++c) row[c] = ostage[c * k_ + j];
+        }
+      } else {
+        for (std::size_t c = 0; c < sc; ++c) {
+          process_column(c0 + c, out_ + c0 + c, m_, fftk, tw.data(),
+                         res.data());
+          // Unstaged: scatter the result column directly.
+          for (std::size_t j = 0; j < k_; ++j) {
+            out_[(c0 + c) + m_ * j] = res[j];
+          }
+        }
+      }
+    }
+  }
+
+  // Processes column c: MCV, DMR twiddle, CCG, protected k-point FFT. The
+  // verified result lands in `res` (contiguous); the caller writes it back.
+  void process_column(std::size_t c, const cplx* col, std::size_t stride,
+                      fft::Fft& fftk, cplx* tw, cplx* res) {
+    double sigma_col = 0.0;
+    if (opts_.memory_ft) {
+      // Column MCV against the (incrementally or regenerated) checksums.
+      // One fused pass yields the comparison sums and an outlier-robust
+      // scale estimate (the column may contain the corruption under test).
+      const auto cur = checksum::dual_plain_sum_robust(col, k_, stride);
+      sigma_col = sigma_from_energy(cur.robust_energy(), k_);
+      e_mid_[c] = cur.robust_energy();
+      const double eta_mem =
+          opts_.eta_override > 0.0
+              ? opts_.eta_override
+              : roundoff::practical_eta_memory(k_, sigma_col);
+      stats_.eta_mem = std::max(stats_.eta_mem, eta_mem);
+      const DualSum stored{o1_[c], o2_[c]};
+      ++stats_.verifications;
+      if (std::abs(cur.sums.plain - stored.plain) > eta_mem) {
+        // Mismatch: repair the authoritative intermediate iteratively, then
+        // refresh the staged copy.
+        ++stats_.mem_errors_detected;
+        const auto rep = checksum::repair_single_error(
+            stored, out_ + c, m_, nullptr, k_, eta_mem, opts_.max_retries);
+        if (!rep.corrected) {
+          throw UncorrectableError(
+              "online ABFT: column memory error not localizable");
+        }
+        ++stats_.mem_errors_corrected;
+        if (col != out_ + c) {
+          cplx* staged = const_cast<cplx*>(col);
+          for (std::size_t i = 0; i < k_; ++i) {
+            staged[i * stride] = out_[i * m_ + c];
+          }
+        }
+      }
+    }
+
+    // Twiddle (DMR) + CCG. tw[i] = col[i] * omega_n^(i*c).
+    stats_.dmr_mismatches +=
+        dmr_twiddle_multiply(col, stride, tw, k_, n_, c, c, inj());
+    const auto se = checksum::weighted_sum_energy(ck_.data(), tw, k_);
+    const cplx ccg = se.sum;
+    if (!opts_.memory_ft) sigma_col = sigma_from_energy(se.energy, k_);
+    const double eta = opts_.eta_override > 0.0
+                           ? opts_.eta_override
+                           : roundoff::practical_eta(k_, sigma_col);
+    stats_.eta_k = std::max(stats_.eta_k, eta);
+
+    for (int attempt = 0;; ++attempt) {
+      fftk.execute(tw, res);
+      if (inj() != nullptr) inj()->apply(Phase::kKFftOutput, c, res, k_);
+      const cplx rx = checksum::omega3_weighted_sum(res, k_);
+      ++stats_.verifications;
+      if (std::abs(rx - ccg) <= eta) break;
+      if (attempt >= opts_.max_retries) {
+        throw UncorrectableError(
+            "online ABFT: k-point sub-FFT kept failing verification");
+      }
+      ++stats_.comp_errors_detected;
+      ++stats_.sub_fft_retries;
+    }
+
+    // Remember the column checksum for the postponed final verification;
+    // the caller scatters `res` to the natural-order positions {c + m*j}.
+    col_ccv_[c] = ccg;
+    if (opts_.memory_ft && !opts_.postpone_mcv) {
+      f1_[c] = checksum::dual_weighted_sum(nullptr, res, k_);
+    }
+  }
+
+  // -------------------------------------------------------------- finalize
+  void finalize() {
+    if (inj() != nullptr) inj()->apply(Phase::kFinalOutput, 0, out_, n_);
+    if (!opts_.memory_ft) return;
+
+    // Final MCV: per-column omega_3-weighted sums of the output, computed
+    // in one contiguous sweep with the bucket-by-(j mod 3) trick.
+    std::vector<cplx> b0(m_, cplx{0, 0}), b1(m_, cplx{0, 0}),
+        b2(m_, cplx{0, 0});
+    for (std::size_t j = 0; j < k_; ++j) {
+      const cplx* row = out_ + j * m_;
+      std::vector<cplx>& bucket = (j % 3 == 0) ? b0 : (j % 3 == 1) ? b1 : b2;
+      for (std::size_t c = 0; c < m_; ++c) bucket[c] += row[c];
+    }
+    const cplx w1 = omega3_pow(1);
+    const cplx w2 = omega3_pow(2);
+    fft::Fft fftk(k_);
+    std::vector<cplx> tw(k_), res(k_), colbuf(k_);
+    for (std::size_t c = 0; c < m_; ++c) {
+      const cplx rx = b0[c] + cmul(w1, b1[c]) + cmul(w2, b2[c]);
+      const double sigma = sigma_from_energy(e_mid_[c], k_);
+      const double eta = opts_.eta_override > 0.0
+                             ? opts_.eta_override
+                             : roundoff::practical_eta(k_, sigma);
+      ++stats_.verifications;
+      if (std::abs(rx - col_ccv_[c]) <= eta) continue;
+      ++stats_.mem_errors_detected;
+
+      if (!opts_.postpone_mcv) {
+        // Naive hierarchy: localize directly with the stored output duals.
+        const auto rep = checksum::repair_single_error(
+            f1_[c], out_ + c, m_, nullptr, k_,
+            opts_.eta_override > 0.0
+                ? opts_.eta_override
+                : roundoff::practical_eta_memory(k_, sigma),
+            opts_.max_retries);
+        if (!rep.corrected) {
+          throw UncorrectableError(
+              "online ABFT: final output memory error not localizable");
+        }
+        ++stats_.mem_errors_corrected;
+        continue;
+      }
+
+      // Postponed hierarchy: recompute the column from the parked
+      // intermediate backup (twiddle + k-FFT + verify + scatter).
+      for (std::size_t i = 0; i < k_; ++i) colbuf[i] = backup_[i * m_ + c];
+      stats_.dmr_mismatches +=
+          dmr_twiddle_multiply(colbuf.data(), 1, tw.data(), k_, n_, c, c,
+                               nullptr);
+      const cplx ccg = checksum::weighted_sum(ck_.data(), tw.data(), k_);
+      fftk.execute(tw.data(), res.data());
+      const cplx rx2 = checksum::omega3_weighted_sum(res.data(), k_);
+      if (std::abs(rx2 - ccg) > eta) {
+        throw UncorrectableError(
+            "online ABFT: column recomputation failed verification");
+      }
+      for (std::size_t j = 0; j < k_; ++j) out_[c + m_ * j] = res[j];
+      ++stats_.mem_errors_corrected;
+      ++stats_.sub_fft_retries;
+    }
+  }
+
+  fault::Injector* inj() const { return opts_.injector; }
+
+  cplx* x_;
+  cplx* out_;
+  std::size_t n_, m_ = 0, k_ = 0;
+  const Options& opts_;
+  Stats& stats_;
+  bool postpone1_ = false;
+
+  std::vector<cplx> cm_, ck_;        // input checksum vectors (sizes m, k)
+  std::vector<cplx> s1_, s2_;        // CMCG slots per first-layer sub-FFT
+  std::vector<double> e_in_;         // per-sub-FFT input energy
+  std::vector<DualSum> r1_;          // naive row checksums of Y_i
+  std::vector<cplx> o1_, o2_;        // column checksums of the intermediate
+  std::vector<double> e_mid_;        // per-column intermediate energy
+  std::vector<cplx> col_ccv_;        // saved per-column CCG for final MCV
+  std::vector<DualSum> f1_;          // naive output duals per column
+  cplx* backup_ = nullptr;           // parked intermediate (postponed MCV)
+  std::vector<cplx> backup_store_;   // internal backup when not in input
+};
+
+}  // namespace
+
+void online_transform(cplx* in, cplx* out, std::size_t n, const Options& opts,
+                      Stats& stats) {
+  detail::require(n >= 4, "online_transform: n must be >= 4 and composite");
+  OnlineRun run(in, out, n, opts, stats);
+  run.run();
+}
+
+}  // namespace ftfft::abft

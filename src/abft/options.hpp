@@ -1,0 +1,145 @@
+// Configuration and statistics for the fault-tolerant FFT schemes.
+//
+// The paper evaluates named scheme variants (Fig. 7's Offline, Opt-Offline,
+// CFTO-Online, Online, Opt-Online); here each variant is a combination of
+// orthogonal switches so the ablation benchmarks can toggle one optimization
+// at a time. The named presets below reproduce the paper's configurations
+// exactly.
+#pragma once
+
+#include <cstddef>
+
+#include "checksum/weights.hpp"
+#include "fault/injector.hpp"
+
+namespace ftfft::abft {
+
+/// Which ABFT structure protects the transform.
+enum class Mode {
+  kNone,     ///< plain FFT, no protection (the "FFTW" baseline)
+  kOffline,  ///< Algorithm 1: one checksum over the whole transform
+  kOnline,   ///< Algorithm 2: two-layer per-sub-FFT checksums
+};
+
+/// Tuning switches. Defaults correspond to the fully optimized scheme.
+struct Options {
+  Mode mode = Mode::kOnline;
+
+  /// Protect against memory faults as well as computational faults
+  /// (section 3.2 hierarchy; off = section 3.1 computational-only).
+  bool memory_ft = false;
+
+  /// Input-checksum-vector generation (section 7.1.1): naive trig vs the
+  /// two-complex-multiplication recurrence.
+  checksum::RaGenMethod ra_method = checksum::RaGenMethod::kClosedForm;
+
+  /// Section 4.1: reuse the computational weights (rA) as the memory
+  /// checksum r1' so input MCV and CCG become the same dot product.
+  bool combined_checksums = true;
+
+  /// Section 4.2: postpone input MCVs into the CCV after each sub-FFT, and
+  /// compute the index-weighted localization sum only when a mismatch is
+  /// detected.
+  bool postpone_mcv = true;
+
+  /// Section 4.3: accumulate the second-layer memory checksums incrementally
+  /// while first-layer outputs are written, instead of a regeneration pass.
+  bool incremental_mcg = true;
+
+  /// Section 4.4: stage strided sub-FFT inputs through a contiguous buffer
+  /// so checksum and transform read the data once from cache.
+  bool contiguous_buffering = true;
+
+  /// Batch size s of second-layer k-point FFTs processed together (0 = pick
+  /// from cache size).
+  std::size_t batch_columns = 0;
+
+  /// Detection threshold override; 0 = derive from the round-off model and
+  /// the measured input energy.
+  double eta_override = 0.0;
+
+  /// Re-executions of one protection unit before giving up (the paper's
+  /// verify loop runs unbounded; a bound turns model violations into a
+  /// reported error instead of a hang).
+  int max_retries = 4;
+
+  /// Optional fault injector; hooks fire at the phases in fault/fault.hpp.
+  fault::Injector* injector = nullptr;
+
+  /// Online memory-FT only: when the postponed final verification needs an
+  /// intermediate backup, copy it into the caller's input array (the paper's
+  /// zero-extra-memory choice, destroys the input) instead of an internal
+  /// scratch allocation.
+  bool backup_in_input = false;
+
+  // ---- Named presets matching the paper's evaluated schemes ----
+
+  /// Fig. 7 "Offline": Algorithm 1 with per-element trig generation.
+  static Options offline_naive(bool memory) {
+    Options o;
+    o.mode = Mode::kOffline;
+    o.memory_ft = memory;
+    o.ra_method = checksum::RaGenMethod::kNaiveTrig;
+    o.combined_checksums = false;
+    o.postpone_mcv = false;
+    o.incremental_mcg = false;
+    o.contiguous_buffering = false;
+    return o;
+  }
+
+  /// Fig. 7 "Opt-Offline".
+  static Options offline_opt(bool memory) {
+    Options o;
+    o.mode = Mode::kOffline;
+    o.memory_ft = memory;
+    return o;
+  }
+
+  /// Fig. 7(a) "CFTO-Online" / 7(b) "Online": two-layer scheme without the
+  /// section-4 memory-path optimizations (computational-path buffering per
+  /// 7(b)'s description stays on only in the *_opt preset).
+  static Options online_naive(bool memory) {
+    Options o;
+    o.mode = Mode::kOnline;
+    o.memory_ft = memory;
+    o.combined_checksums = false;
+    o.postpone_mcv = false;
+    o.incremental_mcg = false;
+    o.contiguous_buffering = false;
+    return o;
+  }
+
+  /// Fig. 7 "Opt-Online": all optimizations.
+  static Options online_opt(bool memory) {
+    Options o;
+    o.mode = Mode::kOnline;
+    o.memory_ft = memory;
+    return o;
+  }
+
+  /// Plain FFT baseline.
+  static Options none() {
+    Options o;
+    o.mode = Mode::kNone;
+    return o;
+  }
+};
+
+/// Execution statistics; every protected transform fills one of these so
+/// callers (and the experiments) can see what the fault tolerance did.
+struct Stats {
+  std::size_t comp_errors_detected = 0;  ///< CCV mismatches blamed on compute
+  std::size_t mem_errors_detected = 0;   ///< checksum-localized memory faults
+  std::size_t mem_errors_corrected = 0;  ///< of those, corrected in place
+  std::size_t sub_fft_retries = 0;       ///< sub-FFT re-executions (online)
+  std::size_t full_restarts = 0;         ///< whole-transform re-runs (offline)
+  std::size_t dmr_mismatches = 0;        ///< twiddle/DMR votes taken
+  std::size_t verifications = 0;         ///< checksum comparisons performed
+  double eta_m = 0.0;                    ///< threshold used, first layer
+  double eta_k = 0.0;                    ///< threshold used, second layer
+  double eta_mem = 0.0;                  ///< threshold used, memory checksums
+
+  void reset() { *this = Stats{}; }
+};
+
+}  // namespace ftfft::abft

@@ -1,0 +1,33 @@
+#include "abft/protected_fft.hpp"
+
+#include "abft/offline.hpp"
+#include "abft/online.hpp"
+#include "fft/fft.hpp"
+
+namespace ftfft::abft {
+
+void protected_transform(cplx* in, cplx* out, std::size_t n,
+                         const Options& opts, Stats& stats) {
+  switch (opts.mode) {
+    case Mode::kNone: {
+      fft::Fft engine(n);
+      engine.execute(in, out);
+      return;
+    }
+    case Mode::kOffline:
+      offline_transform(in, out, n, opts, stats);
+      return;
+    case Mode::kOnline:
+      online_transform(in, out, n, opts, stats);
+      return;
+  }
+}
+
+std::vector<cplx> protected_fft(std::vector<cplx> input, const Options& opts) {
+  std::vector<cplx> out(input.size());
+  Stats stats;
+  protected_transform(input.data(), out.data(), input.size(), opts, stats);
+  return out;
+}
+
+}  // namespace ftfft::abft

@@ -1,0 +1,25 @@
+// Umbrella entry point for protected sequential transforms.
+//
+// Dispatches on Options::mode to the plain, offline-protected or
+// online-protected executor. This is what the public core API and the
+// benchmarks call.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "abft/options.hpp"
+#include "common/complex.hpp"
+
+namespace ftfft::abft {
+
+/// Out-of-place forward DFT with the protection selected in `opts`.
+/// See offline.hpp / online.hpp for the per-mode contracts. `in` may be
+/// modified by fault correction (and by the backup_in_input option).
+void protected_transform(cplx* in, cplx* out, std::size_t n,
+                         const Options& opts, Stats& stats);
+
+/// Convenience overload: allocates the output, default stats sink.
+std::vector<cplx> protected_fft(std::vector<cplx> input, const Options& opts);
+
+}  // namespace ftfft::abft

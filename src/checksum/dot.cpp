@@ -1,0 +1,130 @@
+#include "checksum/dot.hpp"
+
+#include "common/math_util.hpp"
+
+namespace ftfft::checksum {
+
+cplx weighted_sum(const cplx* w, const cplx* x, std::size_t n,
+                  std::size_t stride) {
+  cplx acc{0.0, 0.0};
+  for (std::size_t j = 0; j < n; ++j) {
+    acc += cmul(w[j], x[j * stride]);
+  }
+  return acc;
+}
+
+DualSum dual_weighted_sum(const cplx* w, const cplx* x, std::size_t n,
+                          std::size_t stride) {
+  DualSum out;
+  if (w == nullptr) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const cplx v = x[j * stride];
+      out.plain += v;
+      out.indexed += static_cast<double>(j) * v;
+    }
+  } else {
+    for (std::size_t j = 0; j < n; ++j) {
+      const cplx p = cmul(w[j], x[j * stride]);
+      out.plain += p;
+      out.indexed += static_cast<double>(j) * p;
+    }
+  }
+  return out;
+}
+
+double energy(const cplx* x, std::size_t n, std::size_t stride) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < n; ++j) acc += norm2(x[j * stride]);
+  return acc;
+}
+
+DualSumRobust dual_plain_sum_robust(const cplx* x, std::size_t n,
+                                    std::size_t stride) {
+  DualSumRobust out;
+  std::size_t top_idx = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const cplx v = x[j * stride];
+    out.sums.plain += v;
+    out.sums.indexed += static_cast<double>(j) * v;
+    const double e = norm2(v);
+    if (e > out.max_norm2) {
+      out.max_norm2 = e;
+      top_idx = j;
+    }
+  }
+  // Second (cache-hot) pass summing everything but the top contributor: a
+  // huge outlier would absorb the rest of the sum in floating point, so
+  // subtracting it afterwards cannot work — exclude it instead.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j != top_idx) out.energy += norm2(x[j * stride]);
+  }
+  return out;
+}
+
+double robust_energy(const cplx* x, std::size_t n, std::size_t stride) {
+  // Exclude the single largest contribution while summing (see
+  // dual_plain_sum_robust for why subtract-after does not work): find the
+  // top element first, then sum the rest.
+  double top = -1.0;
+  std::size_t top_idx = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double e = norm2(x[j * stride]);
+    if (e > top) {
+      top = e;
+      top_idx = j;
+    }
+  }
+  double acc = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j != top_idx) acc += norm2(x[j * stride]);
+  }
+  return acc;
+}
+
+cplx omega3_weighted_sum(const cplx* x, std::size_t n, std::size_t stride) {
+  cplx b0{0.0, 0.0}, b1{0.0, 0.0}, b2{0.0, 0.0};
+  std::size_t j = 0;
+  for (; j + 3 <= n; j += 3) {
+    b0 += x[j * stride];
+    b1 += x[(j + 1) * stride];
+    b2 += x[(j + 2) * stride];
+  }
+  if (j < n) b0 += x[j * stride];
+  if (j + 1 < n) b1 += x[(j + 1) * stride];
+  return b0 + cmul(omega3_pow(1), b1) + cmul(omega3_pow(2), b2);
+}
+
+SumEnergy weighted_sum_energy(const cplx* w, const cplx* x, std::size_t n,
+                              std::size_t stride) {
+  SumEnergy out;
+  for (std::size_t j = 0; j < n; ++j) {
+    const cplx v = x[j * stride];
+    out.sum += cmul(w[j], v);
+    out.energy += norm2(v);
+  }
+  return out;
+}
+
+DualSumEnergy dual_weighted_sum_energy(const cplx* w, const cplx* x,
+                                       std::size_t n, std::size_t stride) {
+  DualSumEnergy out;
+  if (w == nullptr) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const cplx v = x[j * stride];
+      out.sums.plain += v;
+      out.sums.indexed += static_cast<double>(j) * v;
+      out.energy += norm2(v);
+    }
+  } else {
+    for (std::size_t j = 0; j < n; ++j) {
+      const cplx v = x[j * stride];
+      const cplx p = cmul(w[j], v);
+      out.sums.plain += p;
+      out.sums.indexed += static_cast<double>(j) * p;
+      out.energy += norm2(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace ftfft::checksum

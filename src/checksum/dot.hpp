@@ -1,0 +1,93 @@
+// Checksum dot products: the primitives every verification step reduces to.
+//
+// CCG/CCV in the paper are weighted sums sum_j w_j x_j; the memory-fault
+// machinery additionally needs the index-weighted companion
+// sum_j j * w_j * x_j computed in the same pass (section 4.1 combines both
+// so the dual sum reuses the product w_j * x_j, costing 4 extra real ops per
+// element instead of a second full pass).
+#pragma once
+
+#include <cstddef>
+
+#include "common/complex.hpp"
+
+namespace ftfft::checksum {
+
+/// sum_j w[j] * x[j * stride], j in [0, n).
+[[nodiscard]] cplx weighted_sum(const cplx* w, const cplx* x, std::size_t n,
+                                std::size_t stride = 1);
+
+/// Plain and index-weighted sums computed together.
+struct DualSum {
+  cplx plain{0.0, 0.0};    ///< sum_j w_j x_j
+  cplx indexed{0.0, 0.0};  ///< sum_j j * w_j * x_j
+
+  DualSum& operator+=(const DualSum& o) {
+    plain += o.plain;
+    indexed += o.indexed;
+    return *this;
+  }
+};
+
+/// Dual sum with explicit weights w (w == nullptr means all-ones weights,
+/// i.e. the classic r1/r2 memory checksums of section 3.2).
+[[nodiscard]] DualSum dual_weighted_sum(const cplx* w, const cplx* x,
+                                        std::size_t n, std::size_t stride = 1);
+
+/// Energy sum_j |x_j|^2 over a strided range; used to estimate the input
+/// scale that feeds the detection thresholds.
+[[nodiscard]] double energy(const cplx* x, std::size_t n,
+                            std::size_t stride = 1);
+
+/// Energy with the single largest |x_j|^2 contribution removed. Under the
+/// single-fault model a corrupted element can inflate the plain energy by
+/// many orders of magnitude, which would inflate the detection threshold
+/// derived from it and mask the very error being hunted; dropping the top
+/// contributor makes the scale estimate robust to exactly one outlier.
+[[nodiscard]] double robust_energy(const cplx* x, std::size_t n,
+                                   std::size_t stride = 1);
+
+/// sum_j omega_3^j x_j computed with the 3-cycle trick: bucket the elements
+/// by j mod 3 and apply the two nontrivial cube-root weights once at the
+/// end. This is the paper's 2-complex-multiplication CCV (section 7.1.1).
+[[nodiscard]] cplx omega3_weighted_sum(const cplx* x, std::size_t n,
+                                       std::size_t stride = 1);
+
+/// weighted_sum fused with an energy accumulation over the same pass, so
+/// threshold estimation costs no extra sweep of the data.
+struct SumEnergy {
+  cplx sum{0.0, 0.0};
+  double energy = 0.0;
+};
+[[nodiscard]] SumEnergy weighted_sum_energy(const cplx* w, const cplx* x,
+                                            std::size_t n,
+                                            std::size_t stride = 1);
+
+/// dual_weighted_sum fused with energy (w == nullptr means all-ones).
+struct DualSumEnergy {
+  DualSum sums;
+  double energy = 0.0;
+};
+[[nodiscard]] DualSumEnergy dual_weighted_sum_energy(const cplx* w,
+                                                     const cplx* x,
+                                                     std::size_t n,
+                                                     std::size_t stride = 1);
+
+/// All-ones dual sums fused with energy and the largest single |x_j|^2:
+/// one pass yields everything a memory verification needs — the sums to
+/// compare, and an outlier-robust scale (energy - max_norm2) for the
+/// threshold even when the data contains the very corruption being checked.
+struct DualSumRobust {
+  DualSum sums;
+  /// Energy excluding the single largest |x_j|^2 (already outlier-robust;
+  /// summed in a second cache-hot pass because a huge outlier absorbs the
+  /// rest of a naive sum in floating point).
+  double energy = 0.0;
+  double max_norm2 = 0.0;
+
+  [[nodiscard]] double robust_energy() const { return energy; }
+};
+[[nodiscard]] DualSumRobust dual_plain_sum_robust(const cplx* x, std::size_t n,
+                                                  std::size_t stride = 1);
+
+}  // namespace ftfft::checksum

@@ -1,0 +1,68 @@
+#include "checksum/memory_checksum.hpp"
+
+#include <cmath>
+
+namespace ftfft::checksum {
+namespace {
+
+// How far the recovered index may sit from an integer before we declare the
+// localization unreliable. 0.25 splits the distance to the neighboring
+// index evenly between round-off slack and mislocation guard.
+constexpr double kIndexSlack = 0.25;
+
+}  // namespace
+
+LocateResult locate_single_error(const DualSum& stored, const DualSum& current,
+                                 const cplx* w, std::size_t n, double eta) {
+  LocateResult out;
+  const cplx d1 = current.plain - stored.plain;
+  const cplx d2 = current.indexed - stored.indexed;
+  if (std::abs(d1) <= eta) return out;  // within round-off: no mismatch
+  out.mismatch = true;
+  const cplx ratio = d2 / d1;
+  const double idx = ratio.real();
+  const double rounded = std::round(idx);
+  // The imaginary part of a clean single-error ratio is zero; allow it the
+  // same slack as the real part, scaled to the index magnitude.
+  const double imag_slack = kIndexSlack * (1.0 + std::abs(rounded));
+  if (std::abs(idx - rounded) > kIndexSlack ||
+      std::abs(ratio.imag()) > imag_slack || rounded < 0.0 ||
+      rounded >= static_cast<double>(n)) {
+    return out;  // mismatch detected but not localizable
+  }
+  out.valid = true;
+  out.index = static_cast<std::size_t>(rounded);
+  out.delta = (w == nullptr) ? d1 : d1 / w[out.index];
+  return out;
+}
+
+void apply_correction(cplx* data, std::size_t stride,
+                      const LocateResult& loc) {
+  if (loc.valid) data[loc.index * stride] -= loc.delta;
+}
+
+RepairResult repair_single_error(const DualSum& stored, cplx* data,
+                                 std::size_t stride, const cplx* w,
+                                 std::size_t n, double eta, int max_iters) {
+  RepairResult out;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    const DualSum cur = dual_weighted_sum(w, data, n, stride);
+    const LocateResult loc = locate_single_error(stored, cur, w, n, eta);
+    if (!loc.mismatch) {
+      out.corrected = out.mismatch;  // clean now (trivially true if never bad)
+      return out;
+    }
+    out.mismatch = true;
+    if (!loc.valid) return out;  // not localizable
+    apply_correction(data, stride, loc);
+    out.index = loc.index;
+    ++out.iterations;
+  }
+  // Ran out of iterations: check whether the last correction landed.
+  const DualSum cur = dual_weighted_sum(w, data, n, stride);
+  out.corrected =
+      !locate_single_error(stored, cur, w, n, eta).mismatch;
+  return out;
+}
+
+}  // namespace ftfft::checksum

@@ -1,0 +1,82 @@
+// Cache-line aligned, zero-initialized buffer for FFT working sets.
+//
+// FFT butterflies and checksum dot products stream long contiguous ranges;
+// 64-byte alignment keeps complex<double> pairs on cache-line boundaries and
+// lets the compiler emit aligned vector loads. The buffer is intentionally a
+// thin RAII wrapper (no resize-with-copy) because every working set in the
+// library is sized once per plan.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace ftfft {
+
+/// Fixed-capacity aligned array. Move-only.
+template <typename T>
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n) : size_(n) {
+    if (n == 0) return;
+    const std::size_t bytes = round_up(n * sizeof(T));
+    data_ = static_cast<T*>(std::aligned_alloc(kAlignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc{};
+    for (std::size_t i = 0; i < n; ++i) new (data_ + i) T{};
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  static std::size_t round_up(std::size_t bytes) noexcept {
+    return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  }
+
+  void release() noexcept {
+    if (data_ != nullptr) {
+      for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+      std::free(data_);
+      data_ = nullptr;
+    }
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ftfft

@@ -1,0 +1,48 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace ftfft {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+long env_long(const char* name, long fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  if (end == raw) return fallback;
+  return v;
+}
+
+long bench_scale_shift() { return env_long("FTFFT_BENCH_SCALE", 0); }
+
+std::size_t bench_runs_percent() {
+  return env_size("FTFFT_BENCH_RUNS", 100);
+}
+
+std::size_t scaled_runs(std::size_t base) {
+  const std::size_t pct = bench_runs_percent();
+  const std::size_t scaled = base * pct / 100;
+  return scaled == 0 ? 1 : scaled;
+}
+
+std::size_t scaled_size(std::size_t base, std::size_t min_size) {
+  const long shift = bench_scale_shift();
+  std::size_t n = base;
+  if (shift >= 0) {
+    n = base << shift;
+  } else {
+    n = base >> (-shift);
+  }
+  return n < min_size ? min_size : n;
+}
+
+}  // namespace ftfft

@@ -1,0 +1,34 @@
+// Environment-variable knobs for the benchmark harnesses.
+//
+// The paper's experiments ran at N = 2^25..2^28 sequential and N = 2^31..2^34
+// on 128..1024 cores of Tianhe-2. This reproduction defaults to sizes that a
+// single-core container finishes in minutes; FTFFT_BENCH_SCALE shifts every
+// benchmark's problem sizes by that many powers of two and FTFFT_BENCH_RUNS
+// scales repetition counts, so the original scale can be approached on bigger
+// machines without editing code.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ftfft {
+
+/// Reads a non-negative integer env var; returns fallback when unset/bad.
+std::size_t env_size(const char* name, std::size_t fallback);
+
+/// Reads a (possibly negative) integer env var.
+long env_long(const char* name, long fallback);
+
+/// log2 shift applied to benchmark problem sizes (default 0).
+long bench_scale_shift();
+
+/// Multiplier (percent) applied to benchmark repetition counts (default 100).
+std::size_t bench_runs_percent();
+
+/// Scales a repetition count by FTFFT_BENCH_RUNS (keeps at least 1).
+std::size_t scaled_runs(std::size_t base);
+
+/// Applies the log2 shift to a problem size (keeps at least min_size).
+std::size_t scaled_size(std::size_t base, std::size_t min_size = 16);
+
+}  // namespace ftfft

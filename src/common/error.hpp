@@ -1,0 +1,37 @@
+// Error taxonomy for the fault-tolerant FFT library.
+//
+// Ordinary misuse (bad sizes, null spans) throws std::invalid_argument.
+// Fault-tolerance gives up only when the single-fault-per-unit model is
+// violated (e.g. a verification keeps failing after max_retries); that is an
+// UncorrectableError so callers can distinguish "your input is wrong" from
+// "the machine is broken beyond the fault model".
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace ftfft {
+
+/// Thrown when detection succeeded but correction is impossible within the
+/// configured retry budget or the single-fault assumption.
+class UncorrectableError : public std::runtime_error {
+ public:
+  explicit UncorrectableError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown when a plan is executed with mismatched geometry.
+class PlanMismatchError : public std::invalid_argument {
+ public:
+  explicit PlanMismatchError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+namespace detail {
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+}  // namespace detail
+
+}  // namespace ftfft

@@ -1,0 +1,74 @@
+#include "common/math_util.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ftfft {
+
+cplx omega(std::size_t n, std::uint64_t k) noexcept {
+  // Reduce k mod n first: keeps the argument to sin/cos small, which matters
+  // for the accuracy of large twiddle tables.
+  const double ang =
+      -2.0 * std::numbers::pi * static_cast<double>(k % n) /
+      static_cast<double>(n);
+  return {std::cos(ang), std::sin(ang)};
+}
+
+cplx omega3() noexcept {
+  // exp(-2 pi i / 3) = -1/2 - sqrt(3)/2 i, written with exact constants so
+  // omega3_pow cycles without drift.
+  constexpr double half_sqrt3 = 0.8660254037844386467637231707529362;
+  return {-0.5, -half_sqrt3};
+}
+
+cplx omega3_pow(std::uint64_t k) noexcept {
+  constexpr double half_sqrt3 = 0.8660254037844386467637231707529362;
+  switch (k % 3) {
+    case 0:
+      return {1.0, 0.0};
+    case 1:
+      return {-0.5, -half_sqrt3};
+    default:
+      return {-0.5, half_sqrt3};
+  }
+}
+
+std::pair<std::size_t, std::size_t> balanced_split(std::size_t n) {
+  if (n < 4) throw std::invalid_argument("balanced_split: n must be >= 4");
+  const auto root = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+  // Search downward from sqrt(n) for the largest divisor k <= sqrt(n); the
+  // cofactor m = n/k is then the smallest >= sqrt(n).
+  for (std::size_t k = root; k >= 2; --k) {
+    if (n % k == 0) return {n / k, k};
+  }
+  throw std::invalid_argument("balanced_split: n is prime, no split exists");
+}
+
+std::pair<std::size_t, std::size_t> square_split(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("square_split: n must be > 0");
+  // Find the largest k with k*k dividing n; r = n / k^2.
+  std::size_t k = 1;
+  for (std::size_t c = 2; c * c <= n; ++c) {
+    while (n % (c * c) == 0) {
+      // Pull one factor c into k per c*c pulled out of n.
+      k *= c;
+      n /= c * c;
+    }
+  }
+  return {k, n};
+}
+
+std::vector<std::size_t> factorize(std::size_t n) {
+  std::vector<std::size_t> factors;
+  for (std::size_t p = 2; p * p <= n; ++p) {
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+}  // namespace ftfft

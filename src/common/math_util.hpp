@@ -1,0 +1,62 @@
+// Small integer/complex math utilities shared by planner, checksums and the
+// ABFT orchestrators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/complex.hpp"
+
+namespace ftfft {
+
+/// True iff n is a power of two (n >= 1).
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// floor(log2(n)) for n >= 1.
+[[nodiscard]] constexpr unsigned log2_floor(std::size_t n) noexcept {
+  unsigned r = 0;
+  while (n >>= 1) ++r;
+  return r;
+}
+
+/// Smallest power of two >= n.
+[[nodiscard]] constexpr std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// exp(-2*pi*i * k / n): the DFT root convention used throughout (forward
+/// transform has negative exponent, matching FFTW and the paper).
+[[nodiscard]] cplx omega(std::size_t n, std::uint64_t k) noexcept;
+
+/// Primitive cube root of unity omega_3 = exp(-2*pi*i/3). The computational
+/// checksum weight vector of Wang & Jha (and the paper) is r_j = omega_3^j.
+[[nodiscard]] cplx omega3() noexcept;
+
+/// omega_3^k for arbitrary k (period 3, exact values, no trig).
+[[nodiscard]] cplx omega3_pow(std::uint64_t k) noexcept;
+
+/// Splits n into (m, k) with n = m*k, the "highest level of decomposition"
+/// used by the online ABFT scheme: both factors as close to sqrt(n) as
+/// possible, preferring m >= k. For a power of two this is the usual
+/// (2^ceil(b/2), 2^floor(b/2)). Throws std::invalid_argument if n < 4 or n
+/// is prime (no nontrivial split exists).
+[[nodiscard]] std::pair<std::size_t, std::size_t> balanced_split(
+    std::size_t n);
+
+/// Splits n into (k, r) with n = k*k*r and r minimal (r == 1 when n is an
+/// even power of its factors). Used by the parallel in-place FFT-2 plan
+/// (paper section 5: "N/p = r * k^2"). Only supports n whose square-free
+/// part is small; for a power of two r is 1 or 2.
+[[nodiscard]] std::pair<std::size_t, std::size_t> square_split(std::size_t n);
+
+/// Prime factorization in ascending order (trial division; n is a transform
+/// size, never astronomically large).
+[[nodiscard]] std::vector<std::size_t> factorize(std::size_t n);
+
+}  // namespace ftfft

@@ -1,0 +1,113 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ftfft {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+  // A zero state would be a fixed point; splitmix64 cannot produce all-zero
+  // words from any seed, but keep the guard for belt and braces.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  // 53 high bits -> [0,1) with full double resolution.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::normal() noexcept {
+  // Box-Muller; reject u1 == 0 to avoid log(0).
+  double u1 = next_double();
+  while (u1 == 0.0) u1 = next_double();
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless bounded generation.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+Rng Rng::fork(std::uint64_t child) const noexcept {
+  std::uint64_t mix = s_[0] ^ rotl(s_[2], 17) ^ (child * 0xA24BAED4963EE407ULL);
+  return Rng(splitmix64(mix));
+}
+
+void fill_random(cplx* data, std::size_t n, InputDistribution dist, Rng& rng) {
+  switch (dist) {
+    case InputDistribution::kUniform:
+      for (std::size_t i = 0; i < n; ++i)
+        data[i] = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+      break;
+    case InputDistribution::kNormal:
+      for (std::size_t i = 0; i < n; ++i) data[i] = {rng.normal(), rng.normal()};
+      break;
+  }
+}
+
+std::vector<cplx> random_vector(std::size_t n, InputDistribution dist,
+                                std::uint64_t seed) {
+  std::vector<cplx> v(n);
+  Rng rng(seed);
+  fill_random(v.data(), n, dist, rng);
+  return v;
+}
+
+double component_sigma(InputDistribution dist) noexcept {
+  switch (dist) {
+    case InputDistribution::kUniform:
+      // Var of U(-1,1) is (b-a)^2/12 = 1/3.
+      return 0.5773502691896258;
+    case InputDistribution::kNormal:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace ftfft

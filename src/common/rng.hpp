@@ -1,0 +1,64 @@
+// Deterministic random number generation for experiments and tests.
+//
+// Everything that injects faults or generates workloads must be reproducible
+// from a single seed, so the library carries its own small PRNG
+// (xoshiro256++) instead of depending on the unspecified std::mt19937
+// streams. Distribution helpers cover exactly the inputs used in the paper:
+// U(-1,1) and N(0,1) complex vectors (section 9.4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/complex.hpp"
+
+namespace ftfft {
+
+/// xoshiro256++ by Blackman & Vigna: fast, 256-bit state, passes BigCrush.
+class Rng {
+ public:
+  /// Seeds the four state words from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0,1).
+  double next_double() noexcept;
+
+  /// Uniform double in [lo,hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state trivially
+  /// serializable and fork-consistent).
+  double normal() noexcept;
+
+  /// Uniform integer in [0,n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Forks an independent stream: hash-mixes the child index into the state.
+  /// Used to give each simulated rank / each campaign run its own stream.
+  [[nodiscard]] Rng fork(std::uint64_t child) const noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Kinds of random input the paper evaluates (section 9.4).
+enum class InputDistribution {
+  kUniform,  ///< re/im each U(-1, 1)
+  kNormal,   ///< re/im each N(0, 1)
+};
+
+/// Fills a complex vector from the given distribution.
+void fill_random(cplx* data, std::size_t n, InputDistribution dist, Rng& rng);
+
+/// Convenience allocation + fill.
+std::vector<cplx> random_vector(std::size_t n, InputDistribution dist,
+                                std::uint64_t seed);
+
+/// Population standard deviation of the real/imag components of the given
+/// distribution; feeds the round-off model (sigma_0 in section 8).
+double component_sigma(InputDistribution dist) noexcept;
+
+}  // namespace ftfft

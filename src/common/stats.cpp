@@ -1,0 +1,51 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftfft {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 1) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double SampleSet::fraction_above(double threshold) const noexcept {
+  if (samples_.empty()) return 0.0;
+  std::size_t c = 0;
+  for (double s : samples_)
+    if (s > threshold) ++c;
+  return static_cast<double>(c) / static_cast<double>(samples_.size());
+}
+
+double SampleSet::quantile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+double SampleSet::max() const noexcept {
+  double worst = 0.0;
+  for (double s : samples_) worst = std::max(worst, s);
+  return worst;
+}
+
+}  // namespace ftfft

@@ -1,0 +1,50 @@
+// Streaming statistics accumulators for benchmarks and round-off studies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ftfft {
+
+/// Welford mean/variance plus min/max, single pass, numerically stable.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance (divides by n). Returns 0 for n < 1.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects samples and answers "what fraction exceeds t" queries; used for
+/// the Table 6 relative-error distribution.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+
+  /// Fraction of samples strictly greater than threshold.
+  [[nodiscard]] double fraction_above(double threshold) const noexcept;
+
+  /// p in [0,1]; nearest-rank quantile of the sorted samples.
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] double max() const noexcept;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace ftfft

@@ -1,0 +1,39 @@
+// Aligned ASCII tables for the benchmark harnesses: every bench binary
+// regenerates one table or figure of the paper and prints it in the same
+// row/column structure, so the output must stay readable in a terminal log.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ftfft {
+
+/// Builds a fixed set of columns, collects rows, prints with alignment.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders to a string with column alignment and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders directly to stdout.
+  void print() const;
+
+  /// Formats a double with the given precision (fixed notation).
+  static std::string fixed(double v, int precision = 2);
+
+  /// Formats a double in scientific notation (for error magnitudes).
+  static std::string sci(double v, int precision = 2);
+
+  /// Formats a percentage with two decimals, e.g. "12.34%".
+  static std::string percent(double fraction, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftfft

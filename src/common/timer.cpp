@@ -1,0 +1,29 @@
+#include "common/timer.hpp"
+
+#include <ctime>
+
+namespace ftfft {
+namespace {
+
+std::int64_t now_ns(clockid_t clock) {
+  timespec ts{};
+  clock_gettime(clock, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+void WallTimer::reset() { start_ns_ = now_ns(CLOCK_MONOTONIC); }
+
+double WallTimer::elapsed() const {
+  return static_cast<double>(now_ns(CLOCK_MONOTONIC) - start_ns_) * 1e-9;
+}
+
+void ThreadCpuTimer::reset() { start_ns_ = now_ns(CLOCK_THREAD_CPUTIME_ID); }
+
+double ThreadCpuTimer::elapsed() const {
+  return static_cast<double>(now_ns(CLOCK_THREAD_CPUTIME_ID) - start_ns_) *
+         1e-9;
+}
+
+}  // namespace ftfft

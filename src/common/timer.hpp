@@ -1,0 +1,43 @@
+// Wall-clock and per-thread CPU timers.
+//
+// The parallel benchmarks run many simulated ranks as threads on however few
+// physical cores the host has, so wall-clock time cannot attribute work to a
+// rank. ThreadCpuTimer reads CLOCK_THREAD_CPUTIME_ID, which charges each
+// rank exactly the cycles its thread consumed; the simulated-makespan model
+// in src/parallel builds on it.
+#pragma once
+
+#include <cstdint>
+
+namespace ftfft {
+
+/// Monotonic wall-clock stopwatch, seconds.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+
+  /// Restarts the stopwatch.
+  void reset();
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] double elapsed() const;
+
+ private:
+  std::int64_t start_ns_ = 0;
+};
+
+/// Per-thread CPU-time stopwatch, seconds. Only counts cycles consumed by
+/// the calling thread, so concurrent threads on one core do not inflate each
+/// other's measurements.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { reset(); }
+
+  void reset();
+  [[nodiscard]] double elapsed() const;
+
+ private:
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace ftfft

@@ -1,0 +1,99 @@
+// FT-FFT public API.
+//
+// One include gives a downstream user the whole library:
+//
+//   #include "core/ftfft.hpp"
+//
+//   ftfft::FtPlan plan(1 << 20);           // online ABFT, memory FT, optimized
+//   auto spectrum = plan.forward(signal);  // soft-error-protected transform
+//   plan.last_stats();                     // what the fault tolerance did
+//
+// FtPlan wraps the sequential schemes (abft/); the distributed transform
+// lives in parallel/parallel_fft.hpp and the raw unprotected engine in
+// fft/fft.hpp. All of those headers are re-exported here.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "abft/inplace.hpp"     // IWYU pragma: export
+#include "abft/options.hpp"     // IWYU pragma: export
+#include "abft/protected_fft.hpp"  // IWYU pragma: export
+#include "common/complex.hpp"   // IWYU pragma: export
+#include "common/error.hpp"     // IWYU pragma: export
+#include "common/rng.hpp"       // IWYU pragma: export
+#include "fault/injector.hpp"   // IWYU pragma: export
+#include "fft/fft.hpp"          // IWYU pragma: export
+#include "parallel/parallel_fft.hpp"  // IWYU pragma: export
+
+namespace ftfft {
+
+/// Protection level of a plan.
+enum class Protection {
+  kNone,     ///< plain FFT (fastest, no fault tolerance)
+  kOffline,  ///< one checksum over the whole transform (Algorithm 1)
+  kOnline,   ///< per-sub-FFT checksums, online correction (Algorithm 2)
+};
+
+/// Plan-wide configuration.
+struct PlanConfig {
+  Protection protection = Protection::kOnline;
+  /// Also detect/locate/correct memory faults (paper section 3.2).
+  bool memory_fault_tolerance = true;
+  /// Apply the section-4 overhead optimizations (off = the paper's naive
+  /// variants, useful for measurement only).
+  bool optimized = true;
+  /// Detection threshold override (0 = derive from the round-off model).
+  double eta_override = 0.0;
+  /// Re-execution budget per protection unit.
+  int max_retries = 4;
+  /// Optional fault injector for experiments.
+  fault::Injector* injector = nullptr;
+};
+
+/// A reusable soft-error-protected transform of one size.
+///
+/// Thread-compatibility: a plan holds per-execution statistics, so share
+/// one plan per thread (constructing extra plans is cheap — the heavy
+/// decomposition tables are cached process-wide).
+class FtPlan {
+ public:
+  explicit FtPlan(std::size_t n, PlanConfig config = {});
+
+  /// Protected out-of-place forward DFT. `in` is non-const: detected input
+  /// memory faults are repaired in the caller's array (the input is
+  /// otherwise preserved).
+  void forward(cplx* in, cplx* out);
+
+  /// Convenience overload: copies the input, returns the spectrum.
+  [[nodiscard]] std::vector<cplx> forward(std::vector<cplx> input);
+
+  /// Protected in-place forward DFT (the k*r*k scheme of section 5 when
+  /// protection is kOnline; plain/offline otherwise). Natural-order output.
+  void forward_inplace(cplx* data);
+
+  /// Protected inverse DFT (1/n normalized), implemented as the conjugate
+  /// of a protected forward transform; the conjugation passes themselves
+  /// are unprotected O(n) copies.
+  void backward(cplx* in, cplx* out);
+
+  /// Statistics of the most recent execution on this plan.
+  [[nodiscard]] const abft::Stats& last_stats() const { return stats_; }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] const PlanConfig& config() const { return config_; }
+
+  /// Library version string.
+  static const char* version();
+
+ private:
+  [[nodiscard]] abft::Options abft_options() const;
+
+  std::size_t n_;
+  PlanConfig config_;
+  abft::Stats stats_;
+  std::vector<cplx> scratch_;
+};
+
+}  // namespace ftfft

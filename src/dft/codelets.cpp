@@ -1,0 +1,207 @@
+#include "dft/codelets.hpp"
+
+#include <array>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/math_util.hpp"
+
+namespace ftfft::dft {
+namespace {
+
+// Exact-constant twiddles. sqrt(2)/2 and the pentagon constants are spelled
+// to full double precision so repeated transforms do not drift.
+constexpr double kHalfSqrt3 = 0.8660254037844386467637231707529362;
+constexpr double kHalfSqrt2 = 0.7071067811865475244008443621048490;
+constexpr double kCos2Pi5 = 0.3090169943749474241022934171828191;
+constexpr double kCos4Pi5 = -0.8090169943749474241022934171828191;
+constexpr double kSin2Pi5 = 0.9510565162951535721164393333793821;
+constexpr double kSin4Pi5 = 0.5877852522924731291687059546390728;
+// cos/sin(2 pi k/16) for k = 1..3.
+constexpr double kCosPi8 = 0.9238795325112867561281831893967882;
+constexpr double kSinPi8 = 0.3826834323650897717284599840303989;
+
+void dft1(const cplx* in, std::size_t, cplx* out, std::size_t) {
+  out[0] = in[0];
+}
+
+void dft2(const cplx* in, std::size_t is, cplx* out, std::size_t os) {
+  const cplx a = in[0];
+  const cplx b = in[is];
+  out[0] = a + b;
+  out[os] = a - b;
+}
+
+void dft3(const cplx* in, std::size_t is, cplx* out, std::size_t os) {
+  const cplx x0 = in[0];
+  const cplx x1 = in[is];
+  const cplx x2 = in[2 * is];
+  const cplx u = x1 + x2;
+  const cplx v = x1 - x2;
+  const cplx w = x0 - 0.5 * u;
+  // z = -i * (sqrt(3)/2) * v
+  const cplx z{kHalfSqrt3 * v.imag(), -kHalfSqrt3 * v.real()};
+  out[0] = x0 + u;
+  out[os] = w + z;
+  out[2 * os] = w - z;
+}
+
+void dft4(const cplx* in, std::size_t is, cplx* out, std::size_t os) {
+  const cplx x0 = in[0];
+  const cplx x1 = in[is];
+  const cplx x2 = in[2 * is];
+  const cplx x3 = in[3 * is];
+  const cplx s02 = x0 + x2;
+  const cplx d02 = x0 - x2;
+  const cplx s13 = x1 + x3;
+  const cplx d13 = x1 - x3;
+  out[0] = s02 + s13;
+  out[os] = d02 + mul_neg_i(d13);
+  out[2 * os] = s02 - s13;
+  out[3 * os] = d02 + mul_i(d13);
+}
+
+void dft5(const cplx* in, std::size_t is, cplx* out, std::size_t os) {
+  const cplx x0 = in[0];
+  const cplx x1 = in[is];
+  const cplx x2 = in[2 * is];
+  const cplx x3 = in[3 * is];
+  const cplx x4 = in[4 * is];
+  const cplx t1 = x1 + x4;
+  const cplx t2 = x2 + x3;
+  const cplx t3 = x1 - x4;
+  const cplx t4 = x2 - x3;
+  out[0] = x0 + t1 + t2;
+  const cplx a1 = x0 + kCos2Pi5 * t1 + kCos4Pi5 * t2;
+  const cplx a2 = x0 + kCos4Pi5 * t1 + kCos2Pi5 * t2;
+  const cplx b1 = kSin2Pi5 * t3 + kSin4Pi5 * t4;  // multiplied by -i below
+  const cplx b2 = kSin4Pi5 * t3 - kSin2Pi5 * t4;
+  out[os] = a1 + mul_neg_i(b1);
+  out[2 * os] = a2 + mul_neg_i(b2);
+  out[3 * os] = a2 + mul_i(b2);
+  out[4 * os] = a1 + mul_i(b1);
+}
+
+void dft8(const cplx* in, std::size_t is, cplx* out, std::size_t os) {
+  // Radix-2 DIT over two unrolled 4-point transforms.
+  cplx e[4];
+  cplx o[4];
+  dft4(in, 2 * is, e, 1);
+  dft4(in + is, 2 * is, o, 1);
+  // Twiddles omega_8^k, k = 0..3: 1, (1-i)/sqrt(2), -i, (-1-i)/sqrt(2).
+  const cplx t1 = cmul(o[1], {kHalfSqrt2, -kHalfSqrt2});
+  const cplx t2 = mul_neg_i(o[2]);
+  const cplx t3 = cmul(o[3], {-kHalfSqrt2, -kHalfSqrt2});
+  out[0] = e[0] + o[0];
+  out[os] = e[1] + t1;
+  out[2 * os] = e[2] + t2;
+  out[3 * os] = e[3] + t3;
+  out[4 * os] = e[0] - o[0];
+  out[5 * os] = e[1] - t1;
+  out[6 * os] = e[2] - t2;
+  out[7 * os] = e[3] - t3;
+}
+
+void dft16(const cplx* in, std::size_t is, cplx* out, std::size_t os) {
+  cplx e[8];
+  cplx o[8];
+  dft8(in, 2 * is, e, 1);
+  dft8(in + is, 2 * is, o, 1);
+  // omega_16^k for k = 0..7.
+  static const std::array<cplx, 8> w = {{
+      {1.0, 0.0},
+      {kCosPi8, -kSinPi8},
+      {kHalfSqrt2, -kHalfSqrt2},
+      {kSinPi8, -kCosPi8},
+      {0.0, -1.0},
+      {-kSinPi8, -kCosPi8},
+      {-kHalfSqrt2, -kHalfSqrt2},
+      {-kCosPi8, -kSinPi8},
+  }};
+  for (std::size_t k = 0; k < 8; ++k) {
+    const cplx t = cmul(o[k], w[k]);
+    out[k * os] = e[k] + t;
+    out[(k + 8) * os] = e[k] - t;
+  }
+}
+
+// Cached root tables for the generic kernel, keyed by n. The table for size
+// n is built once; lookups are lock-guarded but the kernel itself runs
+// lock-free on the snapshot pointer.
+const std::vector<cplx>& root_table(std::size_t n) {
+  static std::mutex mu;
+  static std::unordered_map<std::size_t, std::vector<cplx>> tables;
+  std::scoped_lock lock(mu);
+  auto it = tables.find(n);
+  if (it == tables.end()) {
+    std::vector<cplx> t(n);
+    for (std::size_t k = 0; k < n; ++k) t[k] = omega(n, k);
+    it = tables.emplace(n, std::move(t)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+bool has_unrolled_codelet(std::size_t n) noexcept {
+  switch (n) {
+    case 1:
+    case 2:
+    case 3:
+    case 4:
+    case 5:
+    case 8:
+    case 16:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void generic_dft(std::size_t n, const cplx* in, std::size_t is, cplx* out,
+                 std::size_t os) {
+  const std::vector<cplx>& w = root_table(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    cplx acc = in[0];
+    std::size_t idx = 0;
+    for (std::size_t t = 1; t < n; ++t) {
+      idx += j;
+      if (idx >= n) idx -= n;
+      acc += cmul(in[t * is], w[idx]);
+    }
+    out[j * os] = acc;
+  }
+}
+
+void codelet_dft(std::size_t n, const cplx* in, std::size_t is, cplx* out,
+                 std::size_t os) {
+  switch (n) {
+    case 1:
+      dft1(in, is, out, os);
+      return;
+    case 2:
+      dft2(in, is, out, os);
+      return;
+    case 3:
+      dft3(in, is, out, os);
+      return;
+    case 4:
+      dft4(in, is, out, os);
+      return;
+    case 5:
+      dft5(in, is, out, os);
+      return;
+    case 8:
+      dft8(in, is, out, os);
+      return;
+    case 16:
+      dft16(in, is, out, os);
+      return;
+    default:
+      generic_dft(n, in, is, out, os);
+      return;
+  }
+}
+
+}  // namespace ftfft::dft

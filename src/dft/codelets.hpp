@@ -1,0 +1,32 @@
+// Hand-unrolled small DFT kernels ("codelets", in FFTW terminology).
+//
+// The recursive executor in src/fft bottoms out in these. Sizes 2,3,4,5,8,16
+// are fully unrolled with exact constant twiddles; any other size falls back
+// to a generic O(n^2) kernel with a cached root table, which the planner only
+// selects for small leftover prime factors (larger primes go to Bluestein).
+#pragma once
+
+#include <cstddef>
+
+#include "common/complex.hpp"
+
+namespace ftfft::dft {
+
+/// Largest size the fully unrolled codelets cover.
+inline constexpr std::size_t kMaxUnrolledCodelet = 16;
+
+/// True if `n` has a dedicated unrolled kernel.
+[[nodiscard]] bool has_unrolled_codelet(std::size_t n) noexcept;
+
+/// Computes an n-point DFT from `in` (stride `is`) into `out` (stride `os`).
+/// in and out must not overlap. Dispatches to the unrolled kernel when one
+/// exists, otherwise to the generic kernel.
+void codelet_dft(std::size_t n, const cplx* in, std::size_t is, cplx* out,
+                 std::size_t os);
+
+/// Generic O(n^2) strided DFT used for small odd factors; exposed separately
+/// for tests.
+void generic_dft(std::size_t n, const cplx* in, std::size_t is, cplx* out,
+                 std::size_t os);
+
+}  // namespace ftfft::dft

@@ -1,0 +1,52 @@
+#include "dft/reference_dft.hpp"
+
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+
+namespace ftfft::dft {
+
+void reference_dft(const cplx* in, cplx* out, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("reference_dft: empty input");
+  for (std::size_t j = 0; j < n; ++j) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      acc += in[t] * omega(n, static_cast<std::uint64_t>(j) * t);
+    }
+    out[j] = acc;
+  }
+}
+
+void reference_idft(const cplx* in, cplx* out, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("reference_idft: empty input");
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += in[j] * std::conj(omega(n, static_cast<std::uint64_t>(j) * t));
+    }
+    out[t] = acc * inv_n;
+  }
+}
+
+std::vector<cplx> reference_dft(const std::vector<cplx>& in) {
+  std::vector<cplx> out(in.size());
+  reference_dft(in.data(), out.data(), in.size());
+  return out;
+}
+
+std::vector<cplx> reference_idft(const std::vector<cplx>& in) {
+  std::vector<cplx> out(in.size());
+  reference_idft(in.data(), out.data(), in.size());
+  return out;
+}
+
+cplx reference_dft_element(const cplx* in, std::size_t n, std::size_t j) {
+  cplx acc{0.0, 0.0};
+  for (std::size_t t = 0; t < n; ++t) {
+    acc += in[t] * omega(n, static_cast<std::uint64_t>(j) * t);
+  }
+  return acc;
+}
+
+}  // namespace ftfft::dft

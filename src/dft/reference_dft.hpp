@@ -1,0 +1,34 @@
+// Reference O(N^2) discrete Fourier transform.
+//
+// This is the correctness oracle for every fast path in the library: tests
+// compare the planner/executor, the in-place engine, the ABFT schemes and
+// the distributed six-step FFT against it. It is deliberately the most
+// literal possible transcription of equation (1) of the paper.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/complex.hpp"
+
+namespace ftfft::dft {
+
+/// Forward DFT: X[j] = sum_n x[n] * exp(-2 pi i j n / N).
+/// in and out must not alias; out is resized/overwritten by callers' choice
+/// of the pointer overload.
+void reference_dft(const cplx* in, cplx* out, std::size_t n);
+
+/// Inverse DFT with 1/N normalization:
+/// x[n] = (1/N) sum_j X[j] * exp(+2 pi i j n / N).
+void reference_idft(const cplx* in, cplx* out, std::size_t n);
+
+/// Convenience vector overloads.
+std::vector<cplx> reference_dft(const std::vector<cplx>& in);
+std::vector<cplx> reference_idft(const std::vector<cplx>& in);
+
+/// One row of the DFT matrix times x: sum_n omega^(j*n) x[n]. Used by
+/// checksum tests that need individual output elements.
+[[nodiscard]] cplx reference_dft_element(const cplx* in, std::size_t n,
+                                         std::size_t j);
+
+}  // namespace ftfft::dft

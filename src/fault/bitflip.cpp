@@ -1,0 +1,18 @@
+#include "fault/bitflip.hpp"
+
+#include <cstring>
+
+namespace ftfft::fault {
+
+double flip_bit(double v, unsigned bit) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  bits ^= (std::uint64_t{1} << (bit & 63u));
+  double out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+bool is_high_bit(unsigned bit) noexcept { return bit >= kFirstHighBit; }
+
+}  // namespace ftfft::fault

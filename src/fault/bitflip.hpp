@@ -1,0 +1,20 @@
+// Bit-level manipulation of IEEE-754 doubles for memory-fault simulation.
+#pragma once
+
+#include <cstdint>
+
+namespace ftfft::fault {
+
+/// Returns `v` with bit `bit` (0 = mantissa LSB, 63 = sign) flipped.
+[[nodiscard]] double flip_bit(double v, unsigned bit) noexcept;
+
+/// True for bit positions whose flip typically produces a visible error in
+/// unit-scale data: upper mantissa, exponent and sign (the paper's Table 6
+/// flips "one higher bit" because low mantissa flips are masked by
+/// round-off).
+[[nodiscard]] bool is_high_bit(unsigned bit) noexcept;
+
+/// Number of the first "high" bit; bits in [kFirstHighBit, 63] are high.
+inline constexpr unsigned kFirstHighBit = 40;
+
+}  // namespace ftfft::fault

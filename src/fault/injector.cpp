@@ -1,0 +1,49 @@
+#include "fault/injector.hpp"
+
+#include "fault/bitflip.hpp"
+
+namespace ftfft::fault {
+
+std::size_t Injector::apply(Phase phase, std::size_t unit, cplx* data,
+                            std::size_t len, std::size_t stride) {
+  if (len == 0 || data == nullptr) return 0;
+  std::size_t applied = 0;
+  for (Entry& e : faults_) {
+    if (!e.armed || e.spec.phase != phase || e.spec.unit != unit) continue;
+    const std::size_t idx = e.spec.element < len ? e.spec.element : len - 1;
+    cplx& victim = data[idx * stride];
+    switch (e.spec.kind) {
+      case Kind::kAddConstant:
+        victim += e.spec.value;
+        break;
+      case Kind::kSetValue:
+        victim = e.spec.value;
+        break;
+      case Kind::kFlipBit:
+        if (e.spec.imag_part) {
+          victim = {victim.real(), flip_bit(victim.imag(), e.spec.bit)};
+        } else {
+          victim = {flip_bit(victim.real(), e.spec.bit), victim.imag()};
+        }
+        break;
+    }
+    e.armed = false;
+    ++applied;
+  }
+  fired_ += applied;
+  return applied;
+}
+
+std::size_t Injector::pending_count() const noexcept {
+  std::size_t n = 0;
+  for (const Entry& e : faults_)
+    if (e.armed) ++n;
+  return n;
+}
+
+void Injector::clear() {
+  faults_.clear();
+  fired_ = 0;
+}
+
+}  // namespace ftfft::fault

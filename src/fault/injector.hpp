@@ -1,0 +1,51 @@
+// Deterministic fault injector.
+//
+// Orchestrators expose hook points (`apply`) at every phase named in
+// fault.hpp. An injector holds scheduled FaultSpecs; each fires exactly once
+// when a hook with matching (phase, unit) runs, corrupting the hooked span.
+// No global state: an injector instance travels through the ABFT config, so
+// campaigns are reproducible and tests can run in parallel.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/complex.hpp"
+#include "fault/fault.hpp"
+
+namespace ftfft::fault {
+
+class Injector {
+ public:
+  Injector() = default;
+
+  /// Schedules a fault. Order is irrelevant; all matching armed faults fire
+  /// at the first matching hook.
+  void schedule(const FaultSpec& spec) { faults_.push_back({spec, true}); }
+
+  /// Hook: corrupts `data` (a span of `len` elements with `stride`) with
+  /// every armed fault matching (phase, unit). Element indices beyond `len`
+  /// are clamped into range so randomly generated campaigns always land.
+  /// Returns the number of faults applied.
+  std::size_t apply(Phase phase, std::size_t unit, cplx* data, std::size_t len,
+                    std::size_t stride = 1);
+
+  /// Total faults applied so far (across all hooks).
+  [[nodiscard]] std::size_t fired_count() const noexcept { return fired_; }
+
+  /// Number of scheduled faults that have not fired yet.
+  [[nodiscard]] std::size_t pending_count() const noexcept;
+
+  /// Removes all scheduled faults and resets counters.
+  void clear();
+
+ private:
+  struct Entry {
+    FaultSpec spec;
+    bool armed = true;
+  };
+  std::vector<Entry> faults_;
+  std::size_t fired_ = 0;
+};
+
+}  // namespace ftfft::fault

@@ -1,0 +1,78 @@
+#include "fft/executor.hpp"
+
+#include <cassert>
+
+#include "dft/codelets.hpp"
+
+namespace ftfft::fft {
+namespace {
+
+// Upper bound on the combine radix; kRadixPreference in plan.cpp tops out at
+// 16 and generic codelets at 32, both far below this.
+constexpr std::size_t kMaxRadix = 64;
+
+void exec_bluestein(const PlanNode& node, const cplx* in, std::size_t is,
+                    cplx* out, std::size_t os, cplx* scratch) {
+  const std::size_t n = node.n;
+  const std::size_t m = node.conv_n;
+  cplx* a = scratch;          // chirp-premultiplied input, zero padded
+  cplx* fa = scratch + m;     // its transform / convolution workspace
+  for (std::size_t t = 0; t < n; ++t) a[t] = cmul(in[t * is], node.chirp[t]);
+  for (std::size_t t = n; t < m; ++t) a[t] = cplx{0.0, 0.0};
+  // Forward transform of a (pow2 plan: no scratch).
+  execute_plan(*node.conv_plan, a, 1, fa, 1, nullptr);
+  // Pointwise multiply with the precomputed chirp transform.
+  for (std::size_t t = 0; t < m; ++t) fa[t] = cmul(fa[t], node.chirp_fft[t]);
+  // Inverse transform via conjugation: ifft(y) = conj(fft(conj(y))) / m.
+  for (std::size_t t = 0; t < m; ++t) fa[t] = std::conj(fa[t]);
+  execute_plan(*node.conv_plan, fa, 1, a, 1, nullptr);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::size_t j = 0; j < n; ++j) {
+    const cplx conv = std::conj(a[j]) * inv_m;
+    out[j * os] = cmul(conv, node.chirp[j]);
+  }
+}
+
+}  // namespace
+
+void execute_plan(const PlanNode& node, const cplx* in, std::size_t is,
+                  cplx* out, std::size_t os, cplx* scratch) {
+  switch (node.kind) {
+    case PlanNode::Kind::kCodelet:
+      dft::codelet_dft(node.n, in, is, out, os);
+      return;
+    case PlanNode::Kind::kBluestein:
+      exec_bluestein(node, in, is, out, os, scratch);
+      return;
+    case PlanNode::Kind::kCooleyTukey:
+      break;
+  }
+
+  const std::size_t r = node.radix;
+  const std::size_t m = node.n / r;
+  // Sub-transform t1 reads x[t2*r + t1] (stride r*is) and writes its result
+  // contiguously (in units of os) to out[m*t1 ...].
+  for (std::size_t t1 = 0; t1 < r; ++t1) {
+    execute_plan(*node.sub, in + t1 * is, r * is, out + t1 * m * os, os,
+                 scratch);
+  }
+  // Combine: for every k1, an r-point DFT across the strided column
+  // out[(k1 + m*t1) * os] with twiddles omega_n^(t1*k1), written back to the
+  // same index set {k1 + m*k2}.
+  assert(r <= kMaxRadix);
+  cplx buf[kMaxRadix];
+  cplx res[kMaxRadix];
+  for (std::size_t k1 = 0; k1 < m; ++k1) {
+    buf[0] = out[k1 * os];
+    for (std::size_t t1 = 1; t1 < r; ++t1) {
+      buf[t1] =
+          cmul(out[(k1 + m * t1) * os], node.twiddles[(t1 - 1) * m + k1]);
+    }
+    dft::codelet_dft(r, buf, 1, res, 1);
+    for (std::size_t k2 = 0; k2 < r; ++k2) {
+      out[(k1 + m * k2) * os] = res[k2];
+    }
+  }
+}
+
+}  // namespace ftfft::fft

@@ -1,0 +1,75 @@
+#include "fft/fft.hpp"
+
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+#include "fft/executor.hpp"
+#include "fft/inplace_radix2.hpp"
+
+namespace ftfft::fft {
+
+Fft::Fft(std::size_t n, Direction dir)
+    : n_(n), dir_(dir), plan_(make_plan(n)) {
+  scratch_.resize(plan_->scratch_need);
+  if (dir_ == Direction::kInverse || !is_pow2(n_)) dir_scratch_.resize(n_);
+}
+
+void Fft::execute(const cplx* in, cplx* out) {
+  execute_strided(in, 1, out, 1);
+}
+
+void Fft::execute_strided(const cplx* in, std::size_t is, cplx* out,
+                          std::size_t os) {
+  if (dir_ == Direction::kForward) {
+    execute_plan(*plan_, in, is, out, os, scratch_.data());
+    return;
+  }
+  // Inverse via conjugation: idft(x) = conj(dft(conj(x))) / n.
+  for (std::size_t t = 0; t < n_; ++t)
+    dir_scratch_[t] = std::conj(in[t * is]);
+  execute_plan(*plan_, dir_scratch_.data(), 1, out, os, scratch_.data());
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  for (std::size_t t = 0; t < n_; ++t)
+    out[t * os] = std::conj(out[t * os]) * inv_n;
+}
+
+void Fft::execute_inplace(cplx* data) {
+  if (is_pow2(n_)) {
+    const auto plan = InplaceRadix2Plan::get(n_);
+    if (dir_ == Direction::kForward) {
+      plan->forward(data);
+    } else {
+      plan->inverse(data);
+    }
+    return;
+  }
+  if (dir_scratch_.size() < n_) dir_scratch_.resize(n_);
+  for (std::size_t t = 0; t < n_; ++t) dir_scratch_[t] = data[t];
+  if (dir_ == Direction::kForward) {
+    execute_plan(*plan_, dir_scratch_.data(), 1, data, 1, scratch_.data());
+  } else {
+    for (std::size_t t = 0; t < n_; ++t)
+      dir_scratch_[t] = std::conj(dir_scratch_[t]);
+    execute_plan(*plan_, dir_scratch_.data(), 1, data, 1, scratch_.data());
+    const double inv_n = 1.0 / static_cast<double>(n_);
+    for (std::size_t t = 0; t < n_; ++t) data[t] = std::conj(data[t]) * inv_n;
+  }
+}
+
+std::string Fft::describe() const { return describe_plan(*plan_); }
+
+std::vector<cplx> fft(const std::vector<cplx>& in) {
+  std::vector<cplx> out(in.size());
+  Fft engine(in.size(), Direction::kForward);
+  engine.execute(in.data(), out.data());
+  return out;
+}
+
+std::vector<cplx> ifft(const std::vector<cplx>& in) {
+  std::vector<cplx> out(in.size());
+  Fft engine(in.size(), Direction::kInverse);
+  engine.execute(in.data(), out.data());
+  return out;
+}
+
+}  // namespace ftfft::fft

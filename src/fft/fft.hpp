@@ -1,0 +1,58 @@
+// User-facing FFT engine: plan + per-instance workspace.
+//
+// An `Fft` object owns the scratch its plan needs, so `execute` allocates
+// nothing. One instance is not safe for concurrent calls (the scratch is
+// shared state); create one per thread — plans themselves are shared through
+// the process-wide cache, so extra instances are cheap.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/complex.hpp"
+#include "fft/plan.hpp"
+
+namespace ftfft::fft {
+
+/// Transform direction. Inverse applies the 1/n normalization.
+enum class Direction { kForward, kInverse };
+
+/// Reusable n-point transform engine.
+class Fft {
+ public:
+  explicit Fft(std::size_t n, Direction dir = Direction::kForward);
+
+  /// Out-of-place, unit stride. in and out must not overlap and must hold n
+  /// elements each.
+  void execute(const cplx* in, cplx* out);
+
+  /// Out-of-place with arbitrary strides.
+  void execute_strided(const cplx* in, std::size_t is, cplx* out,
+                       std::size_t os);
+
+  /// In place. For power-of-two sizes this runs the iterative radix-2 engine
+  /// with O(1) auxiliary space; other sizes stage through the instance
+  /// scratch (documented deviation: true in-place mixed-radix is out of
+  /// scope, and every size the paper's schemes protect in place is 2^b).
+  void execute_inplace(cplx* data);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] Direction direction() const noexcept { return dir_; }
+  [[nodiscard]] const PlanNode& plan() const noexcept { return *plan_; }
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::size_t n_;
+  Direction dir_;
+  std::shared_ptr<const PlanNode> plan_;
+  std::vector<cplx> scratch_;       // Bluestein workspace (often empty)
+  std::vector<cplx> dir_scratch_;   // conjugation staging for inverse/in-place
+};
+
+/// One-shot convenience transforms (allocate internally).
+std::vector<cplx> fft(const std::vector<cplx>& in);
+std::vector<cplx> ifft(const std::vector<cplx>& in);
+
+}  // namespace ftfft::fft

@@ -1,0 +1,83 @@
+#include "fft/inplace_radix2.hpp"
+
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "common/math_util.hpp"
+
+namespace ftfft::fft {
+
+InplaceRadix2Plan::InplaceRadix2Plan(std::size_t n) : n_(n) {
+  if (!is_pow2(n)) {
+    throw std::invalid_argument(
+        "InplaceRadix2Plan: size must be a power of two");
+  }
+  log2n_ = log2_floor(n);
+  // Store only the swap pairs (i, rev(i)) with i < rev(i) so the permutation
+  // pass touches each element once.
+  bit_reverse_.reserve(n / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t rev = 0;
+    std::size_t x = i;
+    for (unsigned b = 0; b < log2n_; ++b) {
+      rev = (rev << 1) | (x & 1);
+      x >>= 1;
+    }
+    if (i < rev) {
+      bit_reverse_.push_back(i);
+      bit_reverse_.push_back(rev);
+    }
+  }
+  twiddle_half_.resize(n / 2 == 0 ? 1 : n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) twiddle_half_[k] = omega(n, k);
+}
+
+void InplaceRadix2Plan::run(cplx* data, bool inverse) const {
+  for (std::size_t p = 0; p + 1 < bit_reverse_.size(); p += 2) {
+    std::swap(data[bit_reverse_[p]], data[bit_reverse_[p + 1]]);
+  }
+  // Stage s merges blocks of half = 2^(s-1). The twiddle for butterfly j of
+  // stage s is omega_{2^s}^j = omega_n^(j * n / 2^s).
+  for (unsigned s = 1; s <= log2n_; ++s) {
+    const std::size_t len = std::size_t{1} << s;
+    const std::size_t half = len >> 1;
+    const std::size_t step = n_ >> s;  // twiddle index stride
+    for (std::size_t base = 0; base < n_; base += len) {
+      std::size_t tw = 0;
+      for (std::size_t j = 0; j < half; ++j, tw += step) {
+        const cplx w = inverse ? std::conj(twiddle_half_[tw])
+                               : twiddle_half_[tw];
+        const cplx u = data[base + j];
+        const cplx t = cmul(data[base + j + half], w);
+        data[base + j] = u + t;
+        data[base + j + half] = u - t;
+      }
+    }
+  }
+}
+
+void InplaceRadix2Plan::forward(cplx* data) const { run(data, false); }
+
+void InplaceRadix2Plan::inverse(cplx* data) const {
+  run(data, true);
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < n_; ++i) data[i] *= inv_n;
+}
+
+std::shared_ptr<const InplaceRadix2Plan> InplaceRadix2Plan::get(
+    std::size_t n) {
+  static std::mutex mu;
+  static std::unordered_map<std::size_t,
+                            std::shared_ptr<const InplaceRadix2Plan>>
+      cache;
+  std::scoped_lock lock(mu);
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, std::make_shared<InplaceRadix2Plan>(n)).first;
+  }
+  return it->second;
+}
+
+}  // namespace ftfft::fft

@@ -1,0 +1,45 @@
+// Iterative in-place radix-2 FFT for power-of-two sizes.
+//
+// This is the "in-place, no auxiliary O(N) array" engine the parallel scheme
+// of the paper relies on (section 5): bit-reversal permutation followed by
+// log2(n) butterfly stages over the data itself. The ABFT in-place
+// protection (src/abft/inplace.hpp) wraps this engine, which is exactly why
+// it exists separately from the recursive out-of-place executor.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/complex.hpp"
+
+namespace ftfft::fft {
+
+/// Precomputed bit-reversal permutation + half twiddle table for one size.
+/// Immutable after construction; shareable across threads.
+class InplaceRadix2Plan {
+ public:
+  /// n must be a power of two >= 1.
+  explicit InplaceRadix2Plan(std::size_t n);
+
+  /// Forward DFT of data[0..n) in place, unit stride, not normalized.
+  void forward(cplx* data) const;
+
+  /// Inverse DFT (1/n normalized) in place.
+  void inverse(cplx* data) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Shared, cached plan for the given size. Thread-safe.
+  static std::shared_ptr<const InplaceRadix2Plan> get(std::size_t n);
+
+ private:
+  void run(cplx* data, bool inverse) const;
+
+  std::size_t n_;
+  unsigned log2n_;
+  std::vector<std::size_t> bit_reverse_;  // only entries with i < rev(i)
+  std::vector<cplx> twiddle_half_;        // omega_n^k, k in [0, n/2)
+};
+
+}  // namespace ftfft::fft

@@ -1,0 +1,61 @@
+// FFT plan tree: the library's equivalent of an FFTW plan.
+//
+// A plan is an immutable decomposition of an n-point DFT:
+//   * kCodelet      - hand-unrolled or generic O(n^2) kernel leaf,
+//   * kCooleyTukey  - n = r*m: r sub-DFTs of size m (stride r), twiddle,
+//                     m combine-DFTs of size r,
+//   * kBluestein    - chirp-z reformulation for sizes with a large prime
+//                     factor; internally a power-of-two convolution.
+//
+// Plans are shape-only (twiddle tables included, no workspace), so they are
+// immutable after construction and safely shared across threads; per-call
+// scratch lives in the Fft executor object (src/fft/fft.hpp).
+//
+// The online ABFT scheme (src/abft) performs the *top-level* m*k split
+// itself — mirroring how the paper instruments FFTW's first decomposition
+// level — and uses these plans for the sub-transforms.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/complex.hpp"
+
+namespace ftfft::fft {
+
+/// One node of the decomposition tree. See file comment.
+struct PlanNode {
+  enum class Kind { kCodelet, kCooleyTukey, kBluestein };
+
+  std::size_t n = 0;
+  Kind kind = Kind::kCodelet;
+
+  // --- kCooleyTukey ---
+  std::size_t radix = 0;                 ///< r in n = r*m
+  std::shared_ptr<const PlanNode> sub;   ///< plan for the m-point sub-DFTs
+  /// Combine twiddles omega_n^(t1*k1) for t1 in [1,r), k1 in [0,m), laid out
+  /// [(t1-1)*m + k1]. The t1 == 0 row is identically 1 and omitted.
+  std::vector<cplx> twiddles;
+
+  // --- kBluestein ---
+  std::size_t conv_n = 0;                   ///< power-of-two convolution size
+  std::vector<cplx> chirp;                  ///< c[t] = exp(-pi i t^2 / n)
+  std::vector<cplx> chirp_fft;              ///< FFT_conv_n of padded conj chirp
+  std::shared_ptr<const PlanNode> conv_plan;  ///< pow2 plan of size conv_n
+
+  /// Scratch (complex elements) needed to execute this subtree. Nonzero only
+  /// when a Bluestein node exists below; see executor.hpp for the layout
+  /// contract.
+  std::size_t scratch_need = 0;
+};
+
+/// Builds (or fetches from the process-wide cache) the plan for an n-point
+/// DFT. Thread-safe. n must be >= 1.
+std::shared_ptr<const PlanNode> make_plan(std::size_t n);
+
+/// Human-readable plan tree, e.g. "ct(16) -> ct(16) -> codelet(8)".
+std::string describe_plan(const PlanNode& node);
+
+}  // namespace ftfft::fft

@@ -1,0 +1,141 @@
+#include "parallel/comm.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace ftfft::parallel {
+
+std::size_t RankCtx::nranks() const { return comm_->nranks_; }
+
+const NetworkModel& RankCtx::net() const { return comm_->net_; }
+
+void RankCtx::send(std::size_t to, int tag, std::vector<cplx> payload) {
+  auto& box = *comm_->mailboxes_[to];
+  {
+    std::scoped_lock lock(box.mu);
+    box.queues[{rank_, tag}].push_back(
+        Message{std::move(payload), clock_.now()});
+  }
+  box.cv.notify_all();
+}
+
+Message RankCtx::recv(std::size_t from, int tag) {
+  auto& box = *comm_->mailboxes_[rank_];
+  std::unique_lock lock(box.mu);
+  const auto key = std::make_pair(from, tag);
+  box.cv.wait(lock, [&] {
+    if (comm_->aborted_.load(std::memory_order_relaxed)) return true;
+    auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  if (comm_->aborted_.load(std::memory_order_relaxed)) {
+    auto it = box.queues.find(key);
+    if (it == box.queues.end() || it->second.empty()) {
+      throw std::runtime_error("SimComm: run aborted by a peer rank");
+    }
+  }
+  auto& queue = box.queues[key];
+  Message msg = std::move(queue.front());
+  queue.erase(queue.begin());
+  return msg;
+}
+
+void RankCtx::barrier() { comm_->barrier_wait(*this); }
+
+SimComm::SimComm(std::size_t nranks, NetworkModel net, std::uint64_t seed)
+    : nranks_(nranks), net_(net), seed_(seed) {
+  if (nranks == 0) throw std::invalid_argument("SimComm: nranks must be >= 1");
+  mailboxes_.reserve(nranks);
+  injectors_.reserve(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    injectors_.push_back(std::make_unique<fault::Injector>());
+  }
+  reports_.resize(nranks);
+}
+
+void SimComm::barrier_wait(RankCtx& ctx) {
+  std::unique_lock lock(barrier_mu_);
+  const std::size_t gen = barrier_generation_;
+  barrier_max_time_ = std::max(barrier_max_time_, ctx.clock().now());
+  if (++barrier_arrived_ == nranks_) {
+    // Last arrival: publish the max and wake everyone.
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    ctx.clock().advance_to(barrier_max_time_);
+    const double released_max = barrier_max_time_;
+    barrier_max_time_ = 0.0;
+    // Stash the released max where waiters can read it via the generation
+    // check below (they read released_max through the captured variable).
+    last_released_max_ = released_max;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] {
+    return barrier_generation_ != gen ||
+           aborted_.load(std::memory_order_relaxed);
+  });
+  if (barrier_generation_ == gen) {
+    // Woken by an abort, not a completed barrier. Undo our arrival so any
+    // future (never coming) generation count stays consistent, then unwind.
+    --barrier_arrived_;
+    throw std::runtime_error("SimComm: run aborted by a peer rank");
+  }
+  ctx.clock().advance_to(last_released_max_);
+}
+
+void SimComm::run(const std::function<void(RankCtx&)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(nranks_);
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  // Contexts live in a vector so threads can reference them stably.
+  std::vector<std::unique_ptr<RankCtx>> ctxs;
+  Rng seeder(seed_);
+  for (std::size_t r = 0; r < nranks_; ++r) {
+    auto ctx = std::unique_ptr<RankCtx>(
+        new RankCtx(this, r, seeder.fork(r).next_u64()));
+    ctx->injector_ = injectors_[r].get();
+    ctxs.push_back(std::move(ctx));
+  }
+
+  for (std::size_t r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      RankCtx& ctx = *ctxs[r];
+      try {
+        body(ctx);
+      } catch (...) {
+        {
+          std::scoped_lock lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Wake peers blocked in recv()/barrier() so the run unwinds
+        // instead of deadlocking.
+        aborted_.store(true, std::memory_order_relaxed);
+        for (auto& box : mailboxes_) {
+          std::scoped_lock box_lock(box->mu);
+          box->cv.notify_all();
+        }
+        {
+          std::scoped_lock blk(barrier_mu_);
+          barrier_cv_.notify_all();
+        }
+      }
+      reports_[r] = RankReport{ctx.clock().now(),
+                               ctx.clock().compute_seconds(),
+                               ctx.clock().comm_seconds()};
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+double SimComm::makespan() const {
+  double worst = 0.0;
+  for (const auto& r : reports_) worst = std::max(worst, r.end_time);
+  return worst;
+}
+
+}  // namespace ftfft::parallel

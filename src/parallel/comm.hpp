@@ -1,0 +1,138 @@
+// Thread-backed message-passing runtime: the library's stand-in for MPI.
+//
+// SimComm launches one thread per simulated rank, gives each a RankCtx with
+// tagged point-to-point messaging (mailbox queues with condition variables),
+// a max-synchronizing barrier, a deterministic per-rank RNG stream, a
+// per-rank fault injector and a RankClock. Message envelopes carry the
+// sender's simulated send time so receivers can order events in simulated
+// time, not host time.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/complex.hpp"
+#include "common/rng.hpp"
+#include "fault/injector.hpp"
+#include "parallel/network_model.hpp"
+
+namespace ftfft::parallel {
+
+/// One in-flight message.
+struct Message {
+  std::vector<cplx> payload;
+  double send_time = 0.0;  ///< sender's simulated clock at send
+};
+
+class SimComm;
+
+/// Per-rank handle passed to the rank body. Not thread-safe across ranks;
+/// each rank uses only its own.
+class RankCtx {
+ public:
+  [[nodiscard]] std::size_t rank() const { return rank_; }
+  [[nodiscard]] std::size_t nranks() const;
+
+  /// Enqueues a message to `to`. Returns immediately (nonblocking post, like
+  /// MPI_Isend whose buffer is copied). Does not advance the clock — the
+  /// caller accounts communication per its schedule (blocking vs overlap).
+  void send(std::size_t to, int tag, std::vector<cplx> payload);
+
+  /// Blocks (host-wise) until a message with `tag` from `from` arrives.
+  /// Does not advance the clock.
+  [[nodiscard]] Message recv(std::size_t from, int tag);
+
+  /// Barrier across all ranks that also synchronizes simulated clocks to
+  /// the global maximum (global communication implies waiting for the
+  /// slowest rank).
+  void barrier();
+
+  [[nodiscard]] RankClock& clock() { return clock_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] fault::Injector& injector() { return *injector_; }
+  [[nodiscard]] const NetworkModel& net() const;
+
+ private:
+  friend class SimComm;
+  RankCtx(SimComm* comm, std::size_t rank, std::uint64_t seed)
+      : comm_(comm), rank_(rank), rng_(seed) {}
+
+  SimComm* comm_;
+  std::size_t rank_;
+  RankClock clock_;
+  Rng rng_;
+  fault::Injector* injector_ = nullptr;
+};
+
+/// Statistics of one finished run, per rank.
+struct RankReport {
+  double end_time = 0.0;       ///< simulated clock at rank exit
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+};
+
+class SimComm {
+ public:
+  /// `seed` feeds the per-rank RNG streams (rank r gets fork(r)).
+  explicit SimComm(std::size_t nranks, NetworkModel net = {},
+                   std::uint64_t seed = 0x5EED);
+
+  /// Injector for rank r; arm faults before run(). Valid for the lifetime
+  /// of the SimComm.
+  [[nodiscard]] fault::Injector& injector(std::size_t rank) {
+    return *injectors_[rank];
+  }
+
+  /// Runs `body` on every rank (one host thread each) and joins. Exceptions
+  /// thrown by rank bodies are captured; the first one is rethrown after
+  /// all threads join.
+  void run(const std::function<void(RankCtx&)>& body);
+
+  /// Max simulated end time over ranks (valid after run()).
+  [[nodiscard]] double makespan() const;
+
+  [[nodiscard]] const std::vector<RankReport>& reports() const {
+    return reports_;
+  }
+  [[nodiscard]] std::size_t nranks() const { return nranks_; }
+  [[nodiscard]] const NetworkModel& net() const { return net_; }
+
+ private:
+  friend class RankCtx;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    // Keyed by (from, tag); FIFO per key.
+    std::map<std::pair<std::size_t, int>, std::vector<Message>> queues;
+  };
+
+  void barrier_wait(RankCtx& ctx);
+
+  std::size_t nranks_;
+  NetworkModel net_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<fault::Injector>> injectors_;
+  std::vector<RankReport> reports_;
+
+  // Two-phase max-synchronizing barrier state.
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  std::size_t barrier_arrived_ = 0;
+  std::size_t barrier_generation_ = 0;
+  double barrier_max_time_ = 0.0;
+  double last_released_max_ = 0.0;
+
+  // Abort flag: set when any rank body throws, so peers blocked in recv()
+  // or barrier() unwind instead of deadlocking.
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace ftfft::parallel

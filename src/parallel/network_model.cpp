@@ -1,0 +1,3 @@
+// network_model.hpp is header-only; this translation unit exists so the
+// target has a stable archive member even if the header inlines everything.
+#include "parallel/network_model.hpp"

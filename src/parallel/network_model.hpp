@@ -1,0 +1,84 @@
+// Simulated-time accounting for the parallel runtime.
+//
+// The paper's parallel experiments ran on Tianhe-2 (MPI over TH Express-2).
+// This reproduction executes ranks as host threads — typically on fewer
+// physical cores than ranks — so wall-clock time cannot measure scaling.
+// Instead each rank carries a RankClock: compute segments advance it by the
+// thread's *CPU* time (CLOCK_THREAD_CPUTIME_ID, unaffected by time slicing),
+// communication advances it by an alpha-beta network model, and
+// synchronization advances it to the peer's clock. The simulated makespan
+// (max final clock) reproduces the *shape* of the paper's Fig. 8 and
+// Tables 2-3; absolute values depend on the host CPU and the model
+// parameters, which default to TH Express-2-like numbers.
+#pragma once
+
+#include <cstddef>
+
+#include "common/timer.hpp"
+
+namespace ftfft::parallel {
+
+/// Alpha-beta point-to-point cost model.
+struct NetworkModel {
+  double latency_s = 2e-6;     ///< per-message latency (alpha)
+  double bytes_per_s = 6e9;    ///< link bandwidth (1/beta)
+
+  /// Time to move one message of `bytes` payload.
+  [[nodiscard]] double cost(std::size_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / bytes_per_s;
+  }
+};
+
+/// Per-rank simulated clock. Not thread-safe; each rank owns one.
+class RankClock {
+ public:
+  /// Starts a measured compute segment.
+  void begin_compute() { cpu_.reset(); }
+
+  /// Ends the segment, adds the measured CPU seconds to the clock, and
+  /// returns them (so callers can also account the same work elsewhere,
+  /// e.g. when deciding overlap).
+  double end_compute() {
+    const double t = cpu_.elapsed();
+    now_ += t;
+    compute_ += t;
+    return t;
+  }
+
+  /// Measures a compute segment without advancing the clock; used for work
+  /// that will be folded into an overlap max() by the caller.
+  double measure_compute(double* sink = nullptr) {
+    const double t = cpu_.elapsed();
+    if (sink != nullptr) *sink += t;
+    return t;
+  }
+
+  /// Adds modeled communication time.
+  void add_comm(double seconds) {
+    now_ += seconds;
+    comm_ += seconds;
+  }
+
+  /// Adds pre-measured compute time (overlap bookkeeping).
+  void add_compute(double seconds) {
+    now_ += seconds;
+    compute_ += seconds;
+  }
+
+  /// Synchronizes with another event: the clock cannot be earlier than it.
+  void advance_to(double t) {
+    if (t > now_) now_ = t;
+  }
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] double compute_seconds() const { return compute_; }
+  [[nodiscard]] double comm_seconds() const { return comm_; }
+
+ private:
+  double now_ = 0.0;
+  double compute_ = 0.0;
+  double comm_ = 0.0;
+  ThreadCpuTimer cpu_;
+};
+
+}  // namespace ftfft::parallel

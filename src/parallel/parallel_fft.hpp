@@ -1,0 +1,64 @@
+// Six-step distributed FFT with the paper's parallel online ABFT scheme.
+//
+// Plan (paper section 5): with N points on p ranks (n_loc = N/p per rank,
+// bsz = N/p^2 per block),
+//
+//   transpose1 -> FFT1 (bsz p-point column FFTs per rank, each ABFT-protected
+//   with a gathered-buffer backup) -> transpose2 -> TM (DMR, fused into
+//   reception) -> FFT2 (one protected in-place n_loc-point FFT per rank,
+//   k*r*k plan from abft/inplace.hpp) -> transpose3 -> local adjustment.
+//
+// Every transposed block carries dual checksums; with overlap enabled the
+// checksum generation/verification and the twiddle ride under the
+// communication (section 6.1 / Algorithm 3), which is how opt-FT-FFTW
+// approaches the unprotected baseline in Fig. 8.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "abft/options.hpp"
+#include "common/complex.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/transpose.hpp"
+
+namespace ftfft::parallel {
+
+/// Which of the paper's four Fig. 8 variants to run.
+struct ParallelOptions {
+  bool protect = true;    ///< ABFT + DMR + checksummed messages
+  bool overlap = true;    ///< Algorithm 3 pipelined transposes
+  bool memory_ft = true;  ///< message/memory checksums (protect only)
+  double eta_override = 0.0;
+  int max_retries = 4;
+  NetworkModel net{};
+  std::uint64_t seed = 0x5EED;
+
+  static ParallelOptions fftw() { return {false, false, false, 0, 4, {}, 0x5EED}; }
+  static ParallelOptions ft_fftw() { return {true, false, true, 0, 4, {}, 0x5EED}; }
+  static ParallelOptions opt_fftw() { return {false, true, false, 0, 4, {}, 0x5EED}; }
+  static ParallelOptions opt_ft_fftw() { return {true, true, true, 0, 4, {}, 0x5EED}; }
+};
+
+/// Aggregated outcome of one distributed transform.
+struct ParallelReport {
+  double makespan = 0.0;      ///< simulated seconds, max over ranks
+  double max_compute = 0.0;   ///< max per-rank compute seconds
+  double max_comm = 0.0;      ///< max per-rank modeled comm seconds
+  std::size_t bytes_per_rank = 0;
+  abft::Stats stats;          ///< summed over ranks
+  TransposeStats comm_stats;  ///< summed over ranks
+};
+
+/// Runs the distributed forward DFT of `input` (size N = p * n_loc,
+/// N divisible by p^2) on `p` simulated ranks and returns the transform in
+/// natural order. `arm` (optional) schedules faults on each rank's injector
+/// before the run. Requirements: p not divisible by 3 and, when protect is
+/// set, n_loc acceptable to abft::inplace_shape (any power of two >= 4 is).
+std::vector<cplx> parallel_fft(
+    std::size_t p, const std::vector<cplx>& input, const ParallelOptions& opts,
+    ParallelReport* report = nullptr,
+    const std::function<void(std::size_t rank, fault::Injector&)>& arm = {});
+
+}  // namespace ftfft::parallel

@@ -1,0 +1,118 @@
+#include "parallel/transpose.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "checksum/dot.hpp"
+#include "checksum/memory_checksum.hpp"
+#include "common/error.hpp"
+
+namespace ftfft::parallel {
+namespace {
+
+using checksum::DualSum;
+
+// Verifies a received block against its trailing dual checksums and repairs
+// a single corrupted element. Returns true if a corruption was repaired.
+bool verify_block(cplx* block, std::size_t len, const DualSum& stored,
+                  double eta, int max_retries, TransposeStats& stats) {
+  const auto rep = checksum::repair_single_error(stored, block, 1, nullptr,
+                                                 len, eta, max_retries);
+  if (!rep.mismatch) return false;
+  ++stats.comm_errors_detected;
+  if (!rep.corrected) {
+    throw UncorrectableError(
+        "block transpose: received block failed verification beyond repair");
+  }
+  ++stats.comm_errors_corrected;
+  return true;
+}
+
+}  // namespace
+
+void block_transpose(RankCtx& ctx, cplx* local, std::size_t block_len,
+                     const TransposeOptions& opts, TransposeStats& stats,
+                     int tag_base) {
+  const std::size_t p = ctx.nranks();
+  const std::size_t r = ctx.rank();
+  RankClock& clock = ctx.clock();
+  const std::size_t payload_len = block_len + (opts.checksums ? 2 : 0);
+  const double msg_cost = ctx.net().cost(payload_len * sizeof(cplx));
+
+  // Resident block: no communication, but the hook still applies.
+  if (opts.on_block) {
+    clock.begin_compute();
+    opts.on_block(r, local + r * block_len, block_len);
+    clock.end_compute();
+  }
+
+  // Round-robin tournament schedule (circle method): in every round each
+  // rank exchanges with exactly one peer, and the block it sends is the one
+  // it receives into — so no block is overwritten before it has been sent.
+  // Even p: p-1 rounds, rank p-1 is the "fixed player". Odd p: p rounds,
+  // one rank idles per round.
+  const std::size_t circle = (p % 2 == 0) ? p - 1 : p;
+  const std::size_t rounds = circle;
+  for (std::size_t s = 0; s < rounds; ++s) {
+    std::size_t peer;
+    if (p % 2 == 0 && r == p - 1) {
+      // Fixed player pairs with the circle rank j solving 2j = s (mod
+      // circle); circle is odd so 2 is invertible: j = s*(circle+1)/2.
+      peer = s * ((circle + 1) / 2) % circle;
+    } else {
+      const std::size_t self_paired = (2 * r) % circle;
+      if (p % 2 == 0 && self_paired == s % circle) {
+        peer = p - 1;  // we are the circle rank that meets the fixed player
+      } else {
+        peer = (s + circle - r % circle) % circle;
+        if (peer == r) continue;  // odd p: idle this round
+      }
+    }
+
+    // -- pack (measured): copy the outgoing block, generate its checksums.
+    clock.begin_compute();
+    std::vector<cplx> payload(payload_len);
+    std::memcpy(payload.data(), local + peer * block_len,
+                block_len * sizeof(cplx));
+    if (opts.checksums) {
+      const DualSum d =
+          checksum::dual_weighted_sum(nullptr, payload.data(), block_len);
+      payload[block_len] = d.plain;
+      payload[block_len + 1] = d.indexed;
+    }
+    const double t_pack = clock.end_compute();
+    stats.bytes_sent += payload_len * sizeof(cplx);
+    ctx.send(peer, tag_base + static_cast<int>(s), std::move(payload));
+
+    // -- receive + verify + process (measured). The peer's message replaces
+    // the block we just sent it (a true pairwise exchange).
+    Message msg = ctx.recv(peer, tag_base + static_cast<int>(s));
+    clock.begin_compute();
+    cplx* dst = local + peer * block_len;
+    std::memcpy(dst, msg.payload.data(), block_len * sizeof(cplx));
+    if (opts.checksums) {
+      // In-flight corruption hits the payload between sender checksum
+      // generation and receiver verification.
+      ctx.injector().apply(fault::Phase::kCommBlock, peer, dst, block_len);
+      const DualSum stored{msg.payload[block_len], msg.payload[block_len + 1]};
+      verify_block(dst, block_len, stored, opts.eta, opts.max_retries, stats);
+    }
+    if (opts.on_block) opts.on_block(peer, dst, block_len);
+    const double t_proc = clock.end_compute();
+
+    // -- simulated time. The sender's clock is a lower bound on when the
+    // message could have left; the transfer itself costs msg_cost. Under
+    // Algorithm 3 the transfer of this step rides under the pack/process
+    // compute of neighboring steps, so only the excess is charged.
+    clock.advance_to(msg.send_time);
+    if (opts.overlap) {
+      const double hidden = t_pack + t_proc;
+      clock.add_comm(std::max(0.0, msg_cost - hidden));
+    } else {
+      clock.add_comm(msg_cost);
+    }
+  }
+}
+
+}  // namespace ftfft::parallel

@@ -1,0 +1,63 @@
+// Distributed block transpose with checksummed messages and optional
+// communication-computation overlap (paper sections 5-6, Algorithm 3).
+//
+// Data layout: each rank holds nranks blocks of block_len contiguous
+// elements. The transpose exchanges block j of rank i with block i of rank
+// j — the primitive behind all three "global comm" steps of the six-step
+// parallel FFT.
+//
+// With checksums enabled, every block travels with its two dual checksums
+// (2 extra complex values per block, the paper's ~2p/n communication
+// overhead); the receiver verifies and can localize+correct one corrupted
+// element per block. With overlap enabled, the per-step timing charges
+// max(comm, pack+process) instead of their sum, modeling Algorithm 3's
+// double-buffered pipeline.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/complex.hpp"
+#include "parallel/comm.hpp"
+
+namespace ftfft::parallel {
+
+/// Per-transpose behavior.
+struct TransposeOptions {
+  bool checksums = true;  ///< append + verify per-block dual checksums
+  bool overlap = false;   ///< Algorithm 3 pipelined timing
+  double eta = 1e-9;      ///< verification threshold for one block
+  int max_retries = 4;
+
+  /// Optional processing applied to every received (and the resident)
+  /// block after verification: the hook the parallel FFT uses to fuse
+  /// twiddle multiplication and checksum generation into the reception
+  /// pipeline, where overlap can hide it.
+  std::function<void(std::size_t src_rank, cplx* block, std::size_t len)>
+      on_block;
+};
+
+/// Outcome counters.
+struct TransposeStats {
+  std::size_t comm_errors_detected = 0;
+  std::size_t comm_errors_corrected = 0;
+  std::size_t bytes_sent = 0;
+
+  TransposeStats& operator+=(const TransposeStats& o) {
+    comm_errors_detected += o.comm_errors_detected;
+    comm_errors_corrected += o.comm_errors_corrected;
+    bytes_sent += o.bytes_sent;
+    return *this;
+  }
+};
+
+/// Executes the transpose on this rank. `local` holds nranks*block_len
+/// elements; on return block q holds the data that was block `rank` on rank
+/// q (verified, repaired and processed per the options). `tag_base`
+/// separates concurrent transposes. Throws UncorrectableError when a block
+/// fails verification beyond repair.
+void block_transpose(RankCtx& ctx, cplx* local, std::size_t block_len,
+                     const TransposeOptions& opts, TransposeStats& stats,
+                     int tag_base);
+
+}  // namespace ftfft::parallel

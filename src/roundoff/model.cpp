@@ -1,0 +1,84 @@
+#include "roundoff/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftfft::roundoff {
+namespace {
+
+// Safety factor on the practical thresholds. Detection misses scale only
+// linearly with this, while false positives die off like exp(-c^2), so a
+// generous constant buys reliability for pennies of fault coverage.
+// Empirically the fault-free residual sits 5-25x below eps*n^2*sigma across
+// sizes 2^6..2^16, so 128 leaves an ~order-of-magnitude margin.
+constexpr double kSafety = 128.0;
+
+// Absolute floor so an all-zero input still verifies cleanly.
+constexpr double kEtaFloor = 1e-300;
+
+double log2d(std::size_t n) noexcept {
+  return n <= 1 ? 1.0 : std::log2(static_cast<double>(n));
+}
+
+}  // namespace
+
+double sigma_eps() noexcept {
+  // sqrt(0.21) * 2^-52.
+  return 0.4582575694955840 * 0x1.0p-52;
+}
+
+double fft_element_noise_sigma(std::size_t n, double sigma0) noexcept {
+  // sigma_E^2 / sigma_X^2 = 2 sigma_eps^2 log2 n, with sigma_X = sqrt(n) s0.
+  const double nd = static_cast<double>(n);
+  return std::sqrt(2.0 * nd * sigma0 * sigma0 * sigma_eps() * sigma_eps() *
+                   log2d(n));
+}
+
+double paper_checksum_noise_sigma(std::size_t n, double sigma0) noexcept {
+  return static_cast<double>(n) * fft_element_noise_sigma(n, sigma0);
+}
+
+double paper_eta(std::size_t n, double sigma0) noexcept {
+  return 3.0 * std::sqrt(static_cast<double>(n)) *
+         paper_checksum_noise_sigma(n, sigma0);
+}
+
+double phi(double x) noexcept {
+  return 0.5 * (1.0 + std::erf(x / std::sqrt(2.0)));
+}
+
+double throughput(double eta, std::size_t n, double sigma) noexcept {
+  const double denom = std::sqrt(static_cast<double>(n)) * sigma;
+  if (denom <= 0.0) return 1.0;
+  return 1.0 / (3.0 - 2.0 * phi(eta / denom));
+}
+
+double practical_eta(std::size_t n, double sigma0) noexcept {
+  // The closed-form (rA) weights reach O(0.83 n), so the running partial
+  // sums of (rA)x are O(n sigma) across ~n additions: the residual of the
+  // checksum comparison grows like eps * n^2 * sigma. (This also matches
+  // the paper's measured Max round-off, e.g. ~1e-8 for m = 2^13.)
+  const double nd = static_cast<double>(n);
+  const double eps = 0x1.0p-52;
+  return std::max(kEtaFloor, kSafety * eps * nd * nd * sigma0);
+}
+
+double practical_eta_memory(std::size_t n, double sigma0) noexcept {
+  // Plain summation noise: ~eps * n * sigma per sum; the indexed sum is
+  // checked through the same plain-difference gate, so size for the plain
+  // one.
+  const double nd = static_cast<double>(n);
+  const double eps = 0x1.0p-52;
+  return std::max(kEtaFloor, kSafety * eps * nd * std::sqrt(nd) * sigma0);
+}
+
+OnlineEtas online_etas(std::size_t m, std::size_t k, double sigma0) noexcept {
+  OnlineEtas etas;
+  etas.eta_m = practical_eta(m, sigma0);
+  const double sigma_mid = std::sqrt(static_cast<double>(m)) * sigma0;
+  etas.eta_k = practical_eta(k, sigma_mid);
+  etas.eta_mem = practical_eta_memory(std::max(m, k), sigma_mid);
+  return etas;
+}
+
+}  // namespace ftfft::roundoff

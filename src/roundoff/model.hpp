@@ -1,0 +1,72 @@
+// Round-off error model and detection-threshold selection (paper section 8).
+//
+// Two threshold sources coexist:
+//
+//  * paper_eta_*: the literal formulas of section 8 built on the
+//    Weinstein/Gentleman floating-point FFT noise model, reproduced for the
+//    Table 4 experiment (estimated eta vs measured max round-off).
+//  * practical_eta: the default the library actually verifies against. The
+//    closed-form input checksum vector (rA) has entries as large as
+//    O(0.83 n), so the dominant round-off in |rX - (rA)x| is the weighted
+//    input product, of order eps * n^2 * sigma. A safety factor keeps the
+//    false-positive rate effectively zero while staying orders of magnitude
+//    below any threshold an offline whole-transform scheme could use — which
+//    is exactly the detection-ability gap Tables 5 and 6 measure.
+#pragma once
+
+#include <cstddef>
+
+namespace ftfft::roundoff {
+
+/// Standard deviation of one rounding in double arithmetic,
+/// sigma_eps = sqrt(0.21) * 2^-t with t = 52 mantissa bits (Gentleman &
+/// Sande's empirical constant, as used by the paper).
+[[nodiscard]] double sigma_eps() noexcept;
+
+/// Std dev of the round-off noise on one output element of an n-point FFT
+/// whose input components have std dev sigma0 (Weinstein's
+/// noise-to-signal ratio 2 sigma_eps^2 log2 n).
+[[nodiscard]] double fft_element_noise_sigma(std::size_t n,
+                                             double sigma0) noexcept;
+
+/// Paper's upper-bound estimate for the checksum-difference magnitude of one
+/// protected n-point sub-FFT with input component sigma sigma0:
+/// sigma_roe = n * sigma_e (section 8.1).
+[[nodiscard]] double paper_checksum_noise_sigma(std::size_t n,
+                                                double sigma0) noexcept;
+
+/// Paper's threshold eta = 3 * sqrt(n) * sigma_roe for that sub-FFT layer.
+[[nodiscard]] double paper_eta(std::size_t n, double sigma0) noexcept;
+
+/// Standard normal CDF.
+[[nodiscard]] double phi(double x) noexcept;
+
+/// Expected throughput of a detector with threshold eta when the fault-free
+/// checksum difference is N(0, sigma^2 * n): 1 / (3 - 2 Phi(eta / ...)),
+/// section 8.1's formula.
+[[nodiscard]] double throughput(double eta, std::size_t n,
+                                double sigma) noexcept;
+
+/// Practical default threshold for |rX - (rA)x| over an n-point sub-FFT
+/// whose input components have std dev sigma0 (see file comment).
+[[nodiscard]] double practical_eta(std::size_t n, double sigma0) noexcept;
+
+/// Practical threshold for plain/index dual memory checksums over n elements
+/// of component sigma sigma0 (summation-only noise, section 8.2).
+[[nodiscard]] double practical_eta_memory(std::size_t n,
+                                          double sigma0) noexcept;
+
+/// Per-layer thresholds for the two-layer online scheme over N = m*k.
+struct OnlineEtas {
+  double eta_m = 0.0;    ///< m-point layer CCV threshold
+  double eta_k = 0.0;    ///< k-point layer CCV threshold
+  double eta_mem = 0.0;  ///< intermediate memory-checksum threshold
+};
+
+/// Computes all three from the top-level split and input sigma. The k-layer
+/// input is the (unnormalized) m-point FFT output, so its component sigma is
+/// sqrt(m) * sigma0.
+[[nodiscard]] OnlineEtas online_etas(std::size_t m, std::size_t k,
+                                     double sigma0) noexcept;
+
+}  // namespace ftfft::roundoff

@@ -1,0 +1,235 @@
+#include "abft/inplace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "abft/options.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dft/reference_dft.hpp"
+#include "fault/injector.hpp"
+
+namespace ftfft {
+namespace {
+
+using abft::Options;
+using abft::Stats;
+using fault::FaultSpec;
+using fault::Injector;
+using fault::Phase;
+
+void expect_matches_reference(const std::vector<cplx>& x,
+                              const std::vector<cplx>& got) {
+  const auto want = dft::reference_dft(x);
+  const double tol = 1e-10 * static_cast<double>(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    ASSERT_NEAR(got[j].real(), want[j].real(), tol) << "j=" << j;
+    ASSERT_NEAR(got[j].imag(), want[j].imag(), tol) << "j=" << j;
+  }
+}
+
+TEST(InplaceShape, SplitsAsExpected) {
+  EXPECT_EQ(abft::inplace_shape(64).k, 8u);
+  EXPECT_EQ(abft::inplace_shape(64).r, 1u);
+  EXPECT_EQ(abft::inplace_shape(32).k, 4u);
+  EXPECT_EQ(abft::inplace_shape(32).r, 2u);
+  EXPECT_EQ(abft::inplace_shape(1 << 20).k, 1u << 10);
+  EXPECT_EQ(abft::inplace_shape(1 << 20).r, 1u);
+  EXPECT_EQ(abft::inplace_shape(1 << 21).k, 1u << 10);
+  EXPECT_EQ(abft::inplace_shape(1 << 21).r, 2u);
+  EXPECT_EQ(abft::inplace_shape(200).k, 10u);
+  EXPECT_EQ(abft::inplace_shape(200).r, 2u);
+}
+
+TEST(InplaceShape, RejectsDegenerateSizes) {
+  EXPECT_THROW((void)abft::inplace_shape(7), std::invalid_argument);    // k == 1
+  EXPECT_THROW((void)abft::inplace_shape(10), std::invalid_argument);   // k == 1
+  EXPECT_THROW((void)abft::inplace_shape(9), std::invalid_argument);    // 3 | k
+  EXPECT_THROW((void)abft::inplace_shape(36), std::invalid_argument);   // 3 | k
+}
+
+TEST(DigitReversePermute, IsAnInvolution) {
+  for (const auto& [k, r] : {std::pair<std::size_t, std::size_t>{4, 1},
+                            {4, 2},
+                            {8, 3},
+                            {5, 2}}) {
+    const std::size_t n = k * k * r;
+    auto x = random_vector(n, InputDistribution::kUniform, 600 + n);
+    auto once = x;
+    abft::krk_digit_reverse_permute(once.data(), k, r);
+    auto twice = once;
+    abft::krk_digit_reverse_permute(twice.data(), k, r);
+    for (std::size_t j = 0; j < n; ++j) EXPECT_EQ(twice[j], x[j]) << j;
+    // And it is not the identity for nontrivial shapes.
+    bool moved = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (once[j] != x[j]) moved = true;
+    }
+    EXPECT_TRUE(moved);
+  }
+}
+
+class InplaceMode : public ::testing::TestWithParam<bool> {
+ protected:
+  Options opts() const {
+    return GetParam() ? Options::online_opt(true)
+                      : Options::online_opt(false);
+  }
+};
+
+TEST_P(InplaceMode, FaultFreeMatchesReferenceAcrossSizes) {
+  // Mix of even powers (r=1), odd powers (r=2) and non-powers of two.
+  for (std::size_t n : {16, 32, 50, 64, 100, 128, 200, 256, 512, 1024, 2048}) {
+    auto x = random_vector(n, InputDistribution::kUniform, 700 + n);
+    const auto pristine = x;
+    Stats stats;
+    abft::inplace_online_transform(x.data(), n, opts(), stats);
+    expect_matches_reference(pristine, x);
+    EXPECT_EQ(stats.comp_errors_detected, 0u) << n;
+    EXPECT_EQ(stats.mem_errors_detected, 0u) << n;
+  }
+}
+
+TEST_P(InplaceMode, Layer1ComputationalFaultCorrected) {
+  const std::size_t n = 512;  // k = 16, r = 2
+  auto x = random_vector(n, InputDistribution::kUniform, 61);
+  const auto pristine = x;
+  Injector inj;
+  inj.schedule(FaultSpec::computational(Phase::kMFftOutput, 11, 3, {4.0, 4.0}));
+  Options o = opts();
+  o.injector = &inj;
+  Stats stats;
+  abft::inplace_online_transform(x.data(), n, o, stats);
+  expect_matches_reference(pristine, x);
+  EXPECT_EQ(stats.comp_errors_detected, 1u);
+  EXPECT_EQ(stats.sub_fft_retries, 1u);
+}
+
+TEST_P(InplaceMode, Layer3ComputationalFaultCorrected) {
+  const std::size_t n = 512;
+  auto x = random_vector(n, InputDistribution::kNormal, 63);
+  const auto pristine = x;
+  Injector inj;
+  inj.schedule(FaultSpec::computational(Phase::kKFftOutput, 9, 1, {0.0, -5.0}));
+  Options o = opts();
+  o.injector = &inj;
+  Stats stats;
+  abft::inplace_online_transform(x.data(), n, o, stats);
+  expect_matches_reference(pristine, x);
+  EXPECT_EQ(stats.comp_errors_detected, 1u);
+}
+
+TEST_P(InplaceMode, MiddleLayerDmrFaultVotedOut) {
+  const std::size_t n = 512;  // r = 2: middle layer active
+  auto x = random_vector(n, InputDistribution::kUniform, 65);
+  const auto pristine = x;
+  Injector inj;
+  inj.schedule(
+      FaultSpec::computational(Phase::kMiddleDmrCopy, 37, 1, {3.0, 3.0}));
+  Options o = opts();
+  o.injector = &inj;
+  Stats stats;
+  abft::inplace_online_transform(x.data(), n, o, stats);
+  expect_matches_reference(pristine, x);
+  EXPECT_EQ(stats.dmr_mismatches, 1u);
+}
+
+TEST_P(InplaceMode, TwiddleDmrFaultVotedOut) {
+  const std::size_t n = 256;
+  auto x = random_vector(n, InputDistribution::kUniform, 67);
+  const auto pristine = x;
+  Injector inj;
+  inj.schedule(
+      FaultSpec::computational(Phase::kTwiddleDmrCopy, 5, 12, {-2.0, 1.0}));
+  Options o = opts();
+  o.injector = &inj;
+  Stats stats;
+  abft::inplace_online_transform(x.data(), n, o, stats);
+  expect_matches_reference(pristine, x);
+  EXPECT_EQ(stats.dmr_mismatches, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(CompAndMem, InplaceMode, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& pi) {
+                           return pi.param ? "memory_ft" : "comp_only";
+                         });
+
+TEST(InplaceAbft, InputMemoryFaultCorrected) {
+  const std::size_t n = 1024;
+  auto x = random_vector(n, InputDistribution::kUniform, 69);
+  const auto pristine = x;
+  Injector inj;
+  inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 300,
+                                     {25.0, -8.0}));
+  Options o = Options::online_opt(true);
+  o.injector = &inj;
+  Stats stats;
+  abft::inplace_online_transform(x.data(), n, o, stats);
+  expect_matches_reference(pristine, x);
+  EXPECT_EQ(stats.mem_errors_corrected, 1u);
+}
+
+TEST(InplaceAbft, IntermediateBlockMemoryFaultCorrected) {
+  const std::size_t n = 1024;
+  auto x = random_vector(n, InputDistribution::kNormal, 71);
+  const auto pristine = x;
+  Injector inj;
+  inj.schedule(FaultSpec::bit_flip(Phase::kIntermediate, 0, 555, 57, true));
+  Options o = Options::online_opt(true);
+  o.injector = &inj;
+  Stats stats;
+  abft::inplace_online_transform(x.data(), n, o, stats);
+  expect_matches_reference(pristine, x);
+  EXPECT_EQ(stats.mem_errors_corrected, 1u);
+}
+
+TEST(InplaceAbft, FinalOutputMemoryFaultCorrected) {
+  const std::size_t n = 1024;
+  auto x = random_vector(n, InputDistribution::kUniform, 73);
+  const auto pristine = x;
+  Injector inj;
+  inj.schedule(
+      FaultSpec::memory_set(Phase::kFinalOutput, 0, 450, {-33.0, 10.0}));
+  Options o = Options::online_opt(true);
+  o.injector = &inj;
+  Stats stats;
+  abft::inplace_online_transform(x.data(), n, o, stats);
+  expect_matches_reference(pristine, x);
+  EXPECT_EQ(stats.mem_errors_corrected, 1u);
+}
+
+TEST(InplaceAbft, NaiveMemoryHierarchyAlsoCorrects) {
+  const std::size_t n = 512;
+  auto x = random_vector(n, InputDistribution::kUniform, 75);
+  const auto pristine = x;
+  Injector inj;
+  inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 77,
+                                     {19.0, 19.0}));
+  Options o = Options::online_naive(true);
+  o.injector = &inj;
+  Stats stats;
+  abft::inplace_online_transform(x.data(), n, o, stats);
+  expect_matches_reference(pristine, x);
+  EXPECT_EQ(stats.mem_errors_corrected, 1u);
+}
+
+TEST(InplaceAbft, MultipleFaultsAcrossLayers) {
+  const std::size_t n = 2048;  // k = 32, r = 2
+  auto x = random_vector(n, InputDistribution::kUniform, 77);
+  const auto pristine = x;
+  Injector inj;
+  inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 1234,
+                                     {12.0, 0.0}));
+  inj.schedule(FaultSpec::computational(Phase::kMFftOutput, 40, 7, {3.0, 3.0}));
+  inj.schedule(FaultSpec::computational(Phase::kKFftOutput, 50, 9, {-1.0, 8.0}));
+  Options o = Options::online_opt(true);
+  o.injector = &inj;
+  Stats stats;
+  abft::inplace_online_transform(x.data(), n, o, stats);
+  expect_matches_reference(pristine, x);
+  EXPECT_EQ(inj.fired_count(), 3u);
+}
+
+}  // namespace
+}  // namespace ftfft

@@ -1,0 +1,78 @@
+#include "dft/codelets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dft/reference_dft.hpp"
+
+namespace ftfft {
+namespace {
+
+class CodeletSize : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CodeletSize, MatchesReferenceUnitStride) {
+  const std::size_t n = GetParam();
+  auto x = random_vector(n, InputDistribution::kUniform, 100 + n);
+  std::vector<cplx> got(n), want(n);
+  dft::codelet_dft(n, x.data(), 1, got.data(), 1);
+  dft::reference_dft(x.data(), want.data(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(got[j].real(), want[j].real(), 1e-12) << "n=" << n << " j=" << j;
+    EXPECT_NEAR(got[j].imag(), want[j].imag(), 1e-12) << "n=" << n << " j=" << j;
+  }
+}
+
+TEST_P(CodeletSize, MatchesReferenceStrided) {
+  const std::size_t n = GetParam();
+  const std::size_t is = 3, os = 5;
+  auto packed = random_vector(n, InputDistribution::kNormal, 200 + n);
+  std::vector<cplx> in(n * is, cplx{-99.0, -99.0});
+  for (std::size_t t = 0; t < n; ++t) in[t * is] = packed[t];
+  std::vector<cplx> out(n * os, cplx{-77.0, -77.0});
+  dft::codelet_dft(n, in.data(), is, out.data(), os);
+  std::vector<cplx> want(n);
+  dft::reference_dft(packed.data(), want.data(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(out[j * os].real(), want[j].real(), 1e-12) << j;
+    EXPECT_NEAR(out[j * os].imag(), want[j].imag(), 1e-12) << j;
+  }
+  // Gaps in the output array must be untouched.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i % os != 0) {
+      EXPECT_EQ(out[i], (cplx{-77.0, -77.0})) << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodeletSizes, CodeletSize,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 13,
+                                           16, 17, 25, 31, 32),
+                         [](const ::testing::TestParamInfo<std::size_t>& pi) {
+                           return "n" + std::to_string(pi.param);
+                         });
+
+TEST(Codelets, UnrolledCoverage) {
+  EXPECT_TRUE(dft::has_unrolled_codelet(2));
+  EXPECT_TRUE(dft::has_unrolled_codelet(16));
+  EXPECT_FALSE(dft::has_unrolled_codelet(6));
+  EXPECT_FALSE(dft::has_unrolled_codelet(7));
+  EXPECT_FALSE(dft::has_unrolled_codelet(32));
+}
+
+TEST(Codelets, GenericMatchesUnrolled) {
+  for (std::size_t n : {2, 3, 4, 5, 8, 16}) {
+    auto x = random_vector(n, InputDistribution::kUniform, 300 + n);
+    std::vector<cplx> a(n), b(n);
+    dft::codelet_dft(n, x.data(), 1, a.data(), 1);
+    dft::generic_dft(n, x.data(), 1, b.data(), 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(a[j].real(), b[j].real(), 1e-12) << "n=" << n;
+      EXPECT_NEAR(a[j].imag(), b[j].imag(), 1e-12) << "n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftfft

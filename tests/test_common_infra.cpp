@@ -1,0 +1,107 @@
+// Infrastructure pieces: aligned buffers, timers, env knobs, error helpers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "common/aligned_buffer.hpp"
+#include "common/complex.hpp"
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace ftfft {
+namespace {
+
+TEST(AlignedBuffer, AlignmentAndZeroInit) {
+  AlignedBuffer<cplx> buf(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u);
+  EXPECT_EQ(buf.size(), 1000u);
+  for (const cplx& v : buf) EXPECT_EQ(v, (cplx{0.0, 0.0}));
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<double> a(16);
+  a[3] = 42.0;
+  double* raw = a.data();
+  AlignedBuffer<double> b = std::move(a);
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_DOUBLE_EQ(b[3], 42.0);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_TRUE(a.empty());
+  AlignedBuffer<double> c(1);
+  c = std::move(b);
+  EXPECT_EQ(c.data(), raw);
+}
+
+TEST(AlignedBuffer, EmptyIsSafe) {
+  AlignedBuffer<cplx> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.begin(), buf.end());
+}
+
+TEST(Timers, WallTimerAdvances) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GT(t.elapsed(), 0.0);
+}
+
+TEST(Timers, ThreadCpuTimerMeasuresWork) {
+  ThreadCpuTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + 1.0;
+  const double cpu = t.elapsed();
+  EXPECT_GT(cpu, 0.0);
+  EXPECT_LT(cpu, 10.0);
+}
+
+TEST(Env, ParsesAndFallsBack) {
+  ::setenv("FTFFT_TEST_SIZE", "123", 1);
+  EXPECT_EQ(env_size("FTFFT_TEST_SIZE", 7), 123u);
+  ::setenv("FTFFT_TEST_SIZE", "garbage", 1);
+  EXPECT_EQ(env_size("FTFFT_TEST_SIZE", 7), 7u);
+  ::unsetenv("FTFFT_TEST_SIZE");
+  EXPECT_EQ(env_size("FTFFT_TEST_SIZE", 7), 7u);
+  ::setenv("FTFFT_TEST_LONG", "-3", 1);
+  EXPECT_EQ(env_long("FTFFT_TEST_LONG", 0), -3);
+  ::unsetenv("FTFFT_TEST_LONG");
+}
+
+TEST(Env, ScaledSizeShifts) {
+  ::setenv("FTFFT_BENCH_SCALE", "2", 1);
+  EXPECT_EQ(scaled_size(1024), 4096u);
+  ::setenv("FTFFT_BENCH_SCALE", "-2", 1);
+  EXPECT_EQ(scaled_size(1024), 256u);
+  EXPECT_EQ(scaled_size(16, 16), 16u);  // clamped at min
+  ::unsetenv("FTFFT_BENCH_SCALE");
+  EXPECT_EQ(scaled_size(1024), 1024u);
+}
+
+TEST(Env, ScaledRunsPercentage) {
+  ::setenv("FTFFT_BENCH_RUNS", "50", 1);
+  EXPECT_EQ(scaled_runs(10), 5u);
+  EXPECT_EQ(scaled_runs(1), 1u);  // never drops to zero
+  ::setenv("FTFFT_BENCH_RUNS", "300", 1);
+  EXPECT_EQ(scaled_runs(10), 30u);
+  ::unsetenv("FTFFT_BENCH_RUNS");
+}
+
+TEST(ErrorHelpers, RequireThrowsWithMessage) {
+  EXPECT_NO_THROW(detail::require(true, "fine"));
+  try {
+    detail::require(false, "broken invariant");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "broken invariant");
+  }
+}
+
+TEST(ErrorHelpers, UncorrectableErrorIsRuntimeError) {
+  const UncorrectableError err("boom");
+  const std::runtime_error& base = err;
+  EXPECT_STREQ(base.what(), "boom");
+}
+
+}  // namespace
+}  // namespace ftfft

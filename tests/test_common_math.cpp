@@ -1,0 +1,142 @@
+#include "common/math_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/complex.hpp"
+
+namespace ftfft {
+namespace {
+
+TEST(MathUtil, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1023));
+  EXPECT_FALSE(is_pow2(1536));
+}
+
+TEST(MathUtil, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+  EXPECT_EQ(log2_floor(1025), 10u);
+}
+
+TEST(MathUtil, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(MathUtil, OmegaUnitCircle) {
+  for (std::size_t n : {2, 3, 8, 16, 100, 4096}) {
+    for (std::uint64_t k = 0; k < 5; ++k) {
+      const cplx w = omega(n, k);
+      EXPECT_NEAR(std::abs(w), 1.0, 1e-15) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(MathUtil, OmegaKnownValues) {
+  EXPECT_NEAR(omega(4, 1).real(), 0.0, 1e-15);
+  EXPECT_NEAR(omega(4, 1).imag(), -1.0, 1e-15);
+  EXPECT_NEAR(omega(2, 1).real(), -1.0, 1e-15);
+  EXPECT_NEAR(omega(8, 1).real(), std::cos(std::numbers::pi / 4), 1e-15);
+  EXPECT_NEAR(omega(8, 1).imag(), -std::sin(std::numbers::pi / 4), 1e-15);
+}
+
+TEST(MathUtil, OmegaPeriodicity) {
+  // omega(n, k) must reduce k mod n exactly, even for huge k.
+  const cplx base = omega(1024, 7);
+  const cplx wrapped = omega(1024, 7 + 9ULL * 1024);
+  EXPECT_NEAR(base.real(), wrapped.real(), 1e-15);
+  EXPECT_NEAR(base.imag(), wrapped.imag(), 1e-15);
+}
+
+TEST(MathUtil, Omega3IsPrimitiveCubeRoot) {
+  const cplx w = omega3();
+  const cplx w3 = w * w * w;
+  EXPECT_NEAR(w3.real(), 1.0, 1e-15);
+  EXPECT_NEAR(w3.imag(), 0.0, 1e-15);
+  EXPECT_GT(std::abs(w - cplx{1.0, 0.0}), 1.0);  // not the trivial root
+}
+
+TEST(MathUtil, Omega3PowCycles) {
+  for (std::uint64_t k = 0; k < 12; ++k) {
+    const cplx direct = omega3_pow(k);
+    cplx iter{1.0, 0.0};
+    for (std::uint64_t i = 0; i < k % 3; ++i) iter *= omega3();
+    EXPECT_NEAR(direct.real(), iter.real(), 1e-14) << "k=" << k;
+    EXPECT_NEAR(direct.imag(), iter.imag(), 1e-14) << "k=" << k;
+  }
+}
+
+TEST(MathUtil, BalancedSplitPowersOfTwo) {
+  EXPECT_EQ(balanced_split(16), (std::pair<std::size_t, std::size_t>{4, 4}));
+  EXPECT_EQ(balanced_split(32), (std::pair<std::size_t, std::size_t>{8, 4}));
+  EXPECT_EQ(balanced_split(1 << 20),
+            (std::pair<std::size_t, std::size_t>{1 << 10, 1 << 10}));
+  EXPECT_EQ(balanced_split(1 << 21),
+            (std::pair<std::size_t, std::size_t>{1 << 11, 1 << 10}));
+}
+
+TEST(MathUtil, BalancedSplitGeneral) {
+  for (std::size_t n : {12, 100, 360, 1000, 4096, 6144}) {
+    const auto [m, k] = balanced_split(n);
+    EXPECT_EQ(m * k, n);
+    EXPECT_GE(m, k);
+    EXPECT_GE(k, 2u);
+  }
+}
+
+TEST(MathUtil, BalancedSplitRejectsPrimesAndTiny) {
+  EXPECT_THROW(balanced_split(7), std::invalid_argument);
+  EXPECT_THROW(balanced_split(2), std::invalid_argument);
+  EXPECT_THROW(balanced_split(3), std::invalid_argument);
+}
+
+TEST(MathUtil, SquareSplit) {
+  // n = k*k*r with r square-free-ish minimal.
+  {
+    const auto [k, r] = square_split(64);
+    EXPECT_EQ(k, 8u);
+    EXPECT_EQ(r, 1u);
+  }
+  {
+    const auto [k, r] = square_split(32);
+    EXPECT_EQ(k, 4u);
+    EXPECT_EQ(r, 2u);
+  }
+  {
+    const auto [k, r] = square_split(144);
+    EXPECT_EQ(k, 12u);
+    EXPECT_EQ(r, 1u);
+  }
+  {
+    const auto [k, r] = square_split(7);
+    EXPECT_EQ(k, 1u);
+    EXPECT_EQ(r, 7u);
+  }
+  for (std::size_t n : {8, 12, 60, 100, 1024, 2048, 4096}) {
+    const auto [k, r] = square_split(n);
+    EXPECT_EQ(k * k * r, n) << n;
+  }
+}
+
+TEST(MathUtil, Factorize) {
+  EXPECT_EQ(factorize(1), std::vector<std::size_t>{});
+  EXPECT_EQ(factorize(2), std::vector<std::size_t>{2});
+  EXPECT_EQ(factorize(12), (std::vector<std::size_t>{2, 2, 3}));
+  EXPECT_EQ(factorize(97), std::vector<std::size_t>{97});
+  EXPECT_EQ(factorize(360), (std::vector<std::size_t>{2, 2, 2, 3, 3, 5}));
+}
+
+}  // namespace
+}  // namespace ftfft

@@ -1,0 +1,110 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ftfft {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double d = rng.uniform(-1.0, 1.0);
+    sum += d;
+    sq += d * d;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sq / n, 1.0 / 3.0, 0.01);  // Var U(-1,1) = 1/3
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double d = rng.normal();
+    sum += d;
+    sq += d * d;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, BelowIsBounded) {
+  Rng rng(17);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 12345ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(19);
+  bool seen[10] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.below(10)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(23);
+  Rng c0 = parent.fork(0);
+  Rng c1 = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (c0.next_u64() == c1.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+  // Forking is const: parent stream unaffected.
+  Rng parent2(23);
+  (void)parent2.fork(0);
+  EXPECT_EQ(parent.next_u64(), parent2.next_u64());
+}
+
+TEST(Rng, FillRandomUniformRange) {
+  auto v = random_vector(4096, InputDistribution::kUniform, 31);
+  for (const auto& z : v) {
+    EXPECT_GE(z.real(), -1.0);
+    EXPECT_LT(z.real(), 1.0);
+    EXPECT_GE(z.imag(), -1.0);
+    EXPECT_LT(z.imag(), 1.0);
+  }
+}
+
+TEST(Rng, ComponentSigma) {
+  EXPECT_NEAR(component_sigma(InputDistribution::kUniform),
+              std::sqrt(1.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(component_sigma(InputDistribution::kNormal), 1.0);
+}
+
+TEST(Rng, RandomVectorReproducible) {
+  auto a = random_vector(128, InputDistribution::kNormal, 77);
+  auto b = random_vector(128, InputDistribution::kNormal, 77);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace ftfft

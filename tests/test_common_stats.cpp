@@ -1,0 +1,81 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/table_printer.hpp"
+
+namespace ftfft {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats rs;
+  const double xs[] = {1.0, 2.0, 3.0, 4.0, 10.0};
+  double sum = 0;
+  for (double x : xs) {
+    rs.add(x);
+    sum += x;
+  }
+  const double mean = sum / 5.0;
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= 5.0;
+  EXPECT_EQ(rs.count(), 5u);
+  EXPECT_NEAR(rs.mean(), mean, 1e-12);
+  EXPECT_NEAR(rs.variance(), var, 1e-12);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 10.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, StableForLargeOffset) {
+  // Welford must not catastrophically cancel for data with a huge mean.
+  RunningStats rs;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) rs.add(1e12 + rng.uniform(-1.0, 1.0));
+  EXPECT_NEAR(rs.variance(), 1.0 / 3.0, 0.02);
+}
+
+TEST(SampleSet, FractionAbove) {
+  SampleSet s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.fraction_above(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_above(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_above(0.0), 1.0);
+  EXPECT_EQ(s.count(), 10u);
+}
+
+TEST(SampleSet, QuantileAndMax) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(s.quantile(1.0), 100.0, 1e-12);
+}
+
+TEST(TablePrinter, AlignsAndFormats) {
+  TablePrinter t({"Name", "Value"});
+  t.add_row({"alpha", TablePrinter::fixed(1.23456, 2)});
+  t.add_row({"beta-long-name", TablePrinter::sci(0.000123, 2)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("1.23e-04"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinter, Percent) {
+  EXPECT_EQ(TablePrinter::percent(0.5, 1), "50.0%");
+  EXPECT_EQ(TablePrinter::percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace ftfft

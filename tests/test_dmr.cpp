@@ -1,0 +1,114 @@
+// DMR twiddle multiplication: correctness, the majority vote, and the
+// distributed scale prefactor.
+#include "abft/dmr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "fault/injector.hpp"
+
+namespace ftfft {
+namespace {
+
+using fault::FaultSpec;
+using fault::Injector;
+using fault::Phase;
+
+TEST(DmrTwiddle, MatchesDirectComputation) {
+  const std::size_t len = 257, n = 4096, step = 5;
+  auto x = random_vector(len, InputDistribution::kUniform, 1);
+  std::vector<cplx> out(len);
+  const std::size_t fixed =
+      abft::dmr_twiddle_multiply(x.data(), 1, out.data(), len, n, step, 0,
+                                 nullptr);
+  EXPECT_EQ(fixed, 0u);
+  for (std::size_t i = 0; i < len; ++i) {
+    const cplx want = x[i] * omega(n, i * step);
+    EXPECT_NEAR(std::abs(out[i] - want), 0.0, 1e-12) << i;
+  }
+}
+
+TEST(DmrTwiddle, StridedSource) {
+  const std::size_t len = 64, stride = 3, n = 1024, step = 7;
+  auto flat = random_vector(len * stride, InputDistribution::kNormal, 2);
+  std::vector<cplx> out(len);
+  abft::dmr_twiddle_multiply(flat.data(), stride, out.data(), len, n, step, 0,
+                             nullptr);
+  for (std::size_t i = 0; i < len; ++i) {
+    const cplx want = flat[i * stride] * omega(n, i * step);
+    EXPECT_NEAR(std::abs(out[i] - want), 0.0, 1e-12) << i;
+  }
+}
+
+TEST(DmrTwiddle, ScalePrefactorApplied) {
+  const std::size_t len = 100, n = 2048, step = 3;
+  const cplx scale = omega(n, 555);
+  auto x = random_vector(len, InputDistribution::kUniform, 3);
+  std::vector<cplx> out(len);
+  abft::dmr_twiddle_multiply(x.data(), 1, out.data(), len, n, step, 0,
+                             nullptr, scale);
+  for (std::size_t i = 0; i < len; ++i) {
+    const cplx want = cmul(x[i], cmul(scale, omega(n, i * step)));
+    EXPECT_NEAR(std::abs(out[i] - want), 0.0, 1e-12) << i;
+  }
+}
+
+TEST(DmrTwiddle, VotesOutInjectedFault) {
+  const std::size_t len = 128, n = 1024, step = 9, unit = 4;
+  auto x = random_vector(len, InputDistribution::kUniform, 4);
+  Injector inj;
+  inj.schedule(FaultSpec::computational(Phase::kTwiddleDmrCopy, unit, 31,
+                                        {9.0, -9.0}));
+  std::vector<cplx> out(len);
+  const std::size_t fixed = abft::dmr_twiddle_multiply(
+      x.data(), 1, out.data(), len, n, step, unit, &inj);
+  EXPECT_EQ(fixed, 1u);
+  EXPECT_EQ(inj.fired_count(), 1u);
+  // The voted result must match the fault-free computation at the struck
+  // element. When the corrupted copy agrees with neither the redundant
+  // recurrence copy nor the table-exact third evaluation, the vote falls
+  // back to the third, which may differ from the recurrence by an ulp —
+  // hence a tolerance rather than exact equality.
+  std::vector<cplx> clean(len);
+  abft::dmr_twiddle_multiply(x.data(), 1, clean.data(), len, n, step, unit,
+                             nullptr);
+  for (std::size_t i = 0; i < len; ++i) {
+    EXPECT_NEAR(std::abs(out[i] - clean[i]), 0.0, 1e-13) << i;
+  }
+}
+
+TEST(DmrTwiddle, WrongUnitDoesNotFire) {
+  const std::size_t len = 32, n = 256, step = 1;
+  auto x = random_vector(len, InputDistribution::kUniform, 5);
+  Injector inj;
+  inj.schedule(
+      FaultSpec::computational(Phase::kTwiddleDmrCopy, 7, 3, {1.0, 1.0}));
+  std::vector<cplx> out(len);
+  const std::size_t fixed = abft::dmr_twiddle_multiply(
+      x.data(), 1, out.data(), len, n, step, /*unit=*/2, &inj);
+  EXPECT_EQ(fixed, 0u);
+  EXPECT_EQ(inj.pending_count(), 1u);
+}
+
+TEST(DmrTwiddle, LongRunStaysAccurate) {
+  // The recurrence resyncs every 64 elements; over a long run the result
+  // must not drift from the table-exact value.
+  const std::size_t len = 8192, n = 1 << 20, step = 12345;
+  auto x = random_vector(len, InputDistribution::kUniform, 6);
+  std::vector<cplx> out(len);
+  abft::dmr_twiddle_multiply(x.data(), 1, out.data(), len, n, step, 0,
+                             nullptr);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const cplx want =
+        cmul(x[i], omega(n, static_cast<std::uint64_t>(i) * step));
+    worst = std::max(worst, std::abs(out[i] - want));
+  }
+  EXPECT_LT(worst, 1e-13);
+}
+
+}  // namespace
+}  // namespace ftfft

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/complex.hpp"
+#include "fault/bitflip.hpp"
+#include "fault/injector.hpp"
+
+namespace ftfft {
+namespace {
+
+using fault::FaultSpec;
+using fault::Injector;
+using fault::Kind;
+using fault::Phase;
+
+TEST(Bitflip, RoundTrips) {
+  const double v = 1.234567;
+  for (unsigned bit : {0u, 17u, 40u, 52u, 62u, 63u}) {
+    const double flipped = fault::flip_bit(v, bit);
+    EXPECT_NE(flipped, v) << bit;
+    EXPECT_EQ(fault::flip_bit(flipped, bit), v) << bit;
+  }
+}
+
+TEST(Bitflip, SignBit) {
+  EXPECT_EQ(fault::flip_bit(2.5, 63), -2.5);
+}
+
+TEST(Bitflip, HighBitClassification) {
+  EXPECT_FALSE(fault::is_high_bit(0));
+  EXPECT_FALSE(fault::is_high_bit(39));
+  EXPECT_TRUE(fault::is_high_bit(fault::kFirstHighBit));
+  EXPECT_TRUE(fault::is_high_bit(63));
+}
+
+TEST(Injector, FiresOnceOnMatchingHook) {
+  Injector inj;
+  inj.schedule(FaultSpec::computational(Phase::kMFftOutput, 3, 5, {1.0, 2.0}));
+  std::vector<cplx> data(8, cplx{0, 0});
+  // Wrong unit: nothing happens.
+  EXPECT_EQ(inj.apply(Phase::kMFftOutput, 2, data.data(), data.size()), 0u);
+  // Wrong phase: nothing happens.
+  EXPECT_EQ(inj.apply(Phase::kKFftOutput, 3, data.data(), data.size()), 0u);
+  // Match: fires.
+  EXPECT_EQ(inj.apply(Phase::kMFftOutput, 3, data.data(), data.size()), 1u);
+  EXPECT_EQ(data[5], (cplx{1.0, 2.0}));
+  // One-shot: second matching hook is clean (transient fault).
+  data[5] = {0, 0};
+  EXPECT_EQ(inj.apply(Phase::kMFftOutput, 3, data.data(), data.size()), 0u);
+  EXPECT_EQ(data[5], (cplx{0, 0}));
+  EXPECT_EQ(inj.fired_count(), 1u);
+  EXPECT_EQ(inj.pending_count(), 0u);
+}
+
+TEST(Injector, SetValueAndBitFlipKinds) {
+  Injector inj;
+  inj.schedule(FaultSpec::memory_set(Phase::kFinalOutput, 0, 1, {9.0, 9.0}));
+  inj.schedule(FaultSpec::bit_flip(Phase::kInputAfterChecksum, 0, 2, 63, true));
+  std::vector<cplx> data(4, cplx{1.0, 1.0});
+  inj.apply(Phase::kFinalOutput, 0, data.data(), data.size());
+  EXPECT_EQ(data[1], (cplx{9.0, 9.0}));
+  inj.apply(Phase::kInputAfterChecksum, 0, data.data(), data.size());
+  EXPECT_EQ(data[2], (cplx{1.0, -1.0}));  // sign bit of imag flipped
+}
+
+TEST(Injector, StrideAddressing) {
+  Injector inj;
+  inj.schedule(FaultSpec::computational(Phase::kKFftOutput, 0, 2, {1.0, 0.0}));
+  std::vector<cplx> data(12, cplx{0, 0});
+  inj.apply(Phase::kKFftOutput, 0, data.data(), 4, /*stride=*/3);
+  EXPECT_EQ(data[6], (cplx{1.0, 0.0}));  // element 2 * stride 3
+}
+
+TEST(Injector, ElementClampedIntoRange) {
+  Injector inj;
+  inj.schedule(
+      FaultSpec::computational(Phase::kMFftOutput, 0, 1000, {1.0, 0.0}));
+  std::vector<cplx> data(4, cplx{0, 0});
+  EXPECT_EQ(inj.apply(Phase::kMFftOutput, 0, data.data(), data.size()), 1u);
+  EXPECT_EQ(data[3], (cplx{1.0, 0.0}));
+}
+
+TEST(Injector, MultipleFaultsSameHook) {
+  Injector inj;
+  inj.schedule(FaultSpec::computational(Phase::kMFftOutput, 0, 0, {1.0, 0.0}));
+  inj.schedule(FaultSpec::computational(Phase::kMFftOutput, 0, 1, {2.0, 0.0}));
+  std::vector<cplx> data(2, cplx{0, 0});
+  EXPECT_EQ(inj.apply(Phase::kMFftOutput, 0, data.data(), data.size()), 2u);
+  EXPECT_EQ(data[0], (cplx{1.0, 0.0}));
+  EXPECT_EQ(data[1], (cplx{2.0, 0.0}));
+}
+
+TEST(Injector, ClearResets) {
+  Injector inj;
+  inj.schedule(FaultSpec::computational(Phase::kMFftOutput, 0, 0, {1.0, 0.0}));
+  std::vector<cplx> data(1, cplx{0, 0});
+  inj.apply(Phase::kMFftOutput, 0, data.data(), 1);
+  inj.clear();
+  EXPECT_EQ(inj.fired_count(), 0u);
+  EXPECT_EQ(inj.pending_count(), 0u);
+}
+
+TEST(Injector, NullAndEmptySpansAreSafe) {
+  Injector inj;
+  inj.schedule(FaultSpec::computational(Phase::kMFftOutput, 0, 0, {1.0, 0.0}));
+  EXPECT_EQ(inj.apply(Phase::kMFftOutput, 0, nullptr, 0), 0u);
+  EXPECT_EQ(inj.pending_count(), 1u);  // still armed
+}
+
+}  // namespace
+}  // namespace ftfft

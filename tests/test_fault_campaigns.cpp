@@ -1,0 +1,189 @@
+// Property-based fault-injection campaigns: for randomized faults across
+// random phases, units and magnitudes, the protected transforms must either
+// return the correct spectrum or throw UncorrectableError — never silently
+// deliver a wrong answer for faults within the single-fault-per-unit model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "abft/inplace.hpp"
+#include "abft/online.hpp"
+#include "abft/options.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fault/bitflip.hpp"
+#include "fault/injector.hpp"
+#include "fft/fft.hpp"
+
+namespace ftfft {
+namespace {
+
+using abft::Options;
+using abft::Stats;
+using fault::FaultSpec;
+using fault::Injector;
+using fault::Phase;
+
+constexpr std::size_t kN = 1024;  // m = k = 32
+
+std::vector<cplx> truth(const std::vector<cplx>& x) { return fft::fft(x); }
+
+double max_dev(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  return inf_diff(a.data(), b.data(), a.size());
+}
+
+// One random fault within the correctable model (detectable magnitude,
+// localizable position).
+FaultSpec random_fault(Rng& rng) {
+  const Phase phases[] = {Phase::kInputAfterChecksum, Phase::kMFftOutput,
+                          Phase::kIntermediate,       Phase::kTwiddleDmrCopy,
+                          Phase::kKFftOutput,         Phase::kFinalOutput};
+  const Phase phase = phases[rng.below(6)];
+  const std::size_t unit =
+      (phase == Phase::kMFftOutput || phase == Phase::kKFftOutput ||
+       phase == Phase::kTwiddleDmrCopy)
+          ? rng.below(32)
+          : 0;
+  const std::size_t element = rng.below(
+      (phase == Phase::kMFftOutput || phase == Phase::kKFftOutput ||
+       phase == Phase::kTwiddleDmrCopy)
+          ? 32
+          : kN);
+  switch (rng.below(3)) {
+    case 0:
+      return FaultSpec::computational(phase, unit, element,
+                                      {rng.uniform(0.5, 100.0),
+                                       rng.uniform(-100.0, -0.5)});
+    case 1:
+      return FaultSpec::memory_set(phase, unit, element,
+                                   {rng.uniform(-500.0, 500.0),
+                                    rng.uniform(-500.0, 500.0)});
+    default:
+      return FaultSpec::bit_flip(
+          phase, unit, element,
+          fault::kFirstHighBit + static_cast<unsigned>(rng.below(22)),
+          rng.below(2) == 0);
+  }
+}
+
+class CampaignSeed : public ::testing::TestWithParam<int> {};
+
+TEST_P(CampaignSeed, OnlineMemorySchemeSurvivesRandomSingleFault) {
+  Rng rng(10000 + GetParam());
+  auto x = random_vector(kN, InputDistribution::kUniform, 20000 + GetParam());
+  const auto want = truth(x);
+  Injector inj;
+  inj.schedule(random_fault(rng));
+  Options opts = Options::online_opt(true);
+  opts.injector = &inj;
+  std::vector<cplx> out(kN);
+  Stats stats;
+  try {
+    abft::online_transform(x.data(), out.data(), kN, opts, stats);
+    EXPECT_LT(max_dev(out, want), 1e-8)
+        << "silent corruption with seed " << GetParam();
+    EXPECT_EQ(inj.fired_count(), 1u);
+  } catch (const UncorrectableError&) {
+    // Acceptable outcome: reported, not silent (e.g. NaN contamination).
+  }
+}
+
+TEST_P(CampaignSeed, InplaceSchemeSurvivesRandomSingleFault) {
+  Rng rng(30000 + GetParam());
+  auto x = random_vector(kN, InputDistribution::kNormal, 40000 + GetParam());
+  const auto want = truth(x);
+  Injector inj;
+  inj.schedule(random_fault(rng));
+  Options opts = Options::online_opt(true);
+  opts.injector = &inj;
+  Stats stats;
+  try {
+    abft::inplace_online_transform(x.data(), kN, opts, stats);
+    EXPECT_LT(max_dev(x, want), 1e-8)
+        << "silent corruption with seed " << GetParam();
+  } catch (const UncorrectableError&) {
+  }
+}
+
+TEST_P(CampaignSeed, MultiFaultAcrossDistinctUnits) {
+  Rng rng(50000 + GetParam());
+  auto x = random_vector(kN, InputDistribution::kUniform, 60000 + GetParam());
+  const auto want = truth(x);
+  Injector inj;
+  // One computational fault per layer in distinct units plus one memory
+  // fault: all inside the fault model.
+  inj.schedule(FaultSpec::computational(Phase::kMFftOutput, rng.below(32),
+                                        rng.below(32),
+                                        {rng.uniform(1.0, 50.0), 2.0}));
+  inj.schedule(FaultSpec::computational(Phase::kKFftOutput, rng.below(32),
+                                        rng.below(32),
+                                        {-3.0, rng.uniform(1.0, 50.0)}));
+  inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0,
+                                     rng.below(kN),
+                                     {rng.uniform(-90.0, 90.0), 11.0}));
+  Options opts = Options::online_opt(true);
+  opts.injector = &inj;
+  std::vector<cplx> out(kN);
+  Stats stats;
+  abft::online_transform(x.data(), out.data(), kN, opts, stats);
+  EXPECT_LT(max_dev(out, want), 1e-8);
+  EXPECT_EQ(inj.fired_count(), 3u);
+  EXPECT_GE(stats.comp_errors_detected + stats.mem_errors_detected, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CampaignSeed, ::testing::Range(0, 25),
+                         [](const ::testing::TestParamInfo<int>& pi) {
+                           return "seed" + std::to_string(pi.param);
+                         });
+
+TEST(Campaign, EveryOptimizationComboSurvivesTheSameFaultLoad) {
+  // All 16 combinations of the section-4 switches handle the same
+  // (memory + computational) fault load correctly.
+  auto x = random_vector(kN, InputDistribution::kUniform, 777);
+  const auto want = truth(x);
+  for (int mask = 0; mask < 16; ++mask) {
+    Injector inj;
+    inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 321,
+                                       {44.0, -4.0}));
+    inj.schedule(
+        FaultSpec::computational(Phase::kMFftOutput, 9, 3, {7.0, 7.0}));
+    Options opts = Options::online_opt(true);
+    opts.combined_checksums = (mask & 1) != 0;
+    opts.postpone_mcv = (mask & 2) != 0;
+    opts.incremental_mcg = (mask & 4) != 0;
+    opts.contiguous_buffering = (mask & 8) != 0;
+    opts.injector = &inj;
+    std::vector<cplx> out(kN);
+    Stats stats;
+    auto copy = x;
+    abft::online_transform(copy.data(), out.data(), kN, opts, stats);
+    EXPECT_LT(max_dev(out, want), 1e-8) << "mask=" << mask;
+    EXPECT_EQ(inj.fired_count(), 2u) << "mask=" << mask;
+  }
+}
+
+TEST(Campaign, BackToBackTransformsStayClean) {
+  // A long-running loop with a fault every other run: state (plan caches,
+  // stats) must not leak between executions.
+  auto x = random_vector(kN, InputDistribution::kNormal, 888);
+  const auto want = truth(x);
+  Options opts = Options::online_opt(true);
+  for (int run = 0; run < 10; ++run) {
+    Injector inj;
+    if (run % 2 == 0) {
+      inj.schedule(FaultSpec::computational(Phase::kKFftOutput,
+                                            static_cast<std::size_t>(run), 1,
+                                            {5.0, 5.0}));
+    }
+    opts.injector = &inj;
+    std::vector<cplx> out(kN);
+    Stats stats;
+    auto copy = x;
+    abft::online_transform(copy.data(), out.data(), kN, opts, stats);
+    ASSERT_LT(max_dev(out, want), 1e-8) << "run=" << run;
+    ASSERT_EQ(stats.comp_errors_detected, run % 2 == 0 ? 1u : 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ftfft

@@ -1,0 +1,133 @@
+// Property-based tests on DFT invariants: these hold for any correct FFT
+// implementation and catch subtle twiddle/ordering bugs that pointwise
+// comparison at a few sizes might miss.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/complex.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+
+namespace ftfft {
+namespace {
+
+using fft::Direction;
+using fft::Fft;
+
+class FftProperty : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  std::vector<cplx> transform(const std::vector<cplx>& x) {
+    std::vector<cplx> out(x.size());
+    Fft engine(x.size());
+    engine.execute(x.data(), out.data());
+    return out;
+  }
+};
+
+TEST_P(FftProperty, Linearity) {
+  const std::size_t n = GetParam();
+  auto x = random_vector(n, InputDistribution::kNormal, 10 + n);
+  auto y = random_vector(n, InputDistribution::kNormal, 20 + n);
+  const cplx a{1.5, -0.25};
+  const cplx b{-2.0, 0.75};
+  std::vector<cplx> combo(n);
+  for (std::size_t i = 0; i < n; ++i) combo[i] = a * x[i] + b * y[i];
+  const auto X = transform(x);
+  const auto Y = transform(y);
+  const auto C = transform(combo);
+  const double tol = 1e-10 * static_cast<double>(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const cplx want = a * X[j] + b * Y[j];
+    ASSERT_NEAR(C[j].real(), want.real(), tol) << "n=" << n;
+    ASSERT_NEAR(C[j].imag(), want.imag(), tol) << "n=" << n;
+  }
+}
+
+TEST_P(FftProperty, ParsevalEnergyConservation) {
+  const std::size_t n = GetParam();
+  auto x = random_vector(n, InputDistribution::kUniform, 30 + n);
+  const auto X = transform(x);
+  double ex = 0, eX = 0;
+  for (const auto& v : x) ex += norm2(v);
+  for (const auto& v : X) eX += norm2(v);
+  ASSERT_NEAR(eX, ex * static_cast<double>(n), 1e-10 * eX + 1e-12);
+}
+
+TEST_P(FftProperty, TimeShiftBecomesPhaseRamp) {
+  const std::size_t n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  auto x = random_vector(n, InputDistribution::kUniform, 40 + n);
+  const std::size_t shift = n / 3 + 1;
+  std::vector<cplx> shifted(n);
+  for (std::size_t t = 0; t < n; ++t) shifted[t] = x[(t + shift) % n];
+  const auto X = transform(x);
+  const auto S = transform(shifted);
+  const double tol = 1e-9 * static_cast<double>(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // DFT(x[t+s])[j] = omega^(-s j) X[j] = conj(omega(n, s*j)) X[j].
+    const cplx want = std::conj(omega(n, shift * j)) * X[j];
+    ASSERT_NEAR(S[j].real(), want.real(), tol) << "n=" << n << " j=" << j;
+    ASSERT_NEAR(S[j].imag(), want.imag(), tol) << "n=" << n << " j=" << j;
+  }
+}
+
+TEST_P(FftProperty, CircularConvolutionTheorem) {
+  const std::size_t n = GetParam();
+  auto x = random_vector(n, InputDistribution::kUniform, 50 + n);
+  auto h = random_vector(n, InputDistribution::kUniform, 60 + n);
+  // Direct circular convolution.
+  std::vector<cplx> conv(n, cplx{0, 0});
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t u = 0; u < n; ++u) {
+      conv[t] += x[u] * h[(t + n - u % n) % n];
+    }
+  }
+  const auto X = transform(x);
+  const auto H = transform(h);
+  std::vector<cplx> prod(n);
+  for (std::size_t j = 0; j < n; ++j) prod[j] = X[j] * H[j];
+  std::vector<cplx> viafft(n);
+  Fft inv(n, Direction::kInverse);
+  inv.execute(prod.data(), viafft.data());
+  const double tol = 1e-9 * static_cast<double>(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    ASSERT_NEAR(viafft[t].real(), conv[t].real(), tol) << "n=" << n;
+    ASSERT_NEAR(viafft[t].imag(), conv[t].imag(), tol) << "n=" << n;
+  }
+}
+
+TEST_P(FftProperty, RealInputHasConjugateSymmetry) {
+  const std::size_t n = GetParam();
+  std::vector<cplx> x(n);
+  Rng rng(70 + n);
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), 0.0};
+  const auto X = transform(x);
+  const double tol = 1e-10 * static_cast<double>(n);
+  for (std::size_t j = 1; j < n; ++j) {
+    const cplx mirror = std::conj(X[n - j]);
+    ASSERT_NEAR(X[j].real(), mirror.real(), tol) << "n=" << n;
+    ASSERT_NEAR(X[j].imag(), mirror.imag(), tol) << "n=" << n;
+  }
+  ASSERT_NEAR(X[0].imag(), 0.0, tol);
+}
+
+TEST_P(FftProperty, DcBinIsPlainSum) {
+  const std::size_t n = GetParam();
+  auto x = random_vector(n, InputDistribution::kNormal, 80 + n);
+  cplx sum{0, 0};
+  for (const auto& v : x) sum += v;
+  const auto X = transform(x);
+  ASSERT_NEAR(X[0].real(), sum.real(), 1e-10 * static_cast<double>(n));
+  ASSERT_NEAR(X[0].imag(), sum.imag(), 1e-10 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FftProperty,
+    ::testing::Values(1, 2, 3, 4, 5, 8, 12, 16, 31, 32, 60, 64, 97, 128, 100,
+                      243, 256, 360, 512, 1000, 1024),
+    [](const ::testing::TestParamInfo<std::size_t>& pi) { return "n" + std::to_string(pi.param); });
+
+}  // namespace
+}  // namespace ftfft

@@ -1,0 +1,146 @@
+#include "parallel/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/rng.hpp"
+
+namespace ftfft {
+namespace {
+
+using parallel::NetworkModel;
+using parallel::RankCtx;
+using parallel::SimComm;
+
+TEST(NetworkModel, CostIsAffine) {
+  NetworkModel net{1e-6, 1e9};
+  EXPECT_DOUBLE_EQ(net.cost(0), 1e-6);
+  EXPECT_DOUBLE_EQ(net.cost(1000000000), 1.0 + 1e-6);
+  EXPECT_GT(net.cost(2048), net.cost(1024));
+}
+
+TEST(SimComm, PingPong) {
+  SimComm comm(2);
+  comm.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 7, {cplx{1.0, 2.0}, cplx{3.0, 4.0}});
+      const auto reply = ctx.recv(1, 8);
+      ASSERT_EQ(reply.payload.size(), 1u);
+      EXPECT_EQ(reply.payload[0], (cplx{5.0, 6.0}));
+    } else {
+      const auto msg = ctx.recv(0, 7);
+      ASSERT_EQ(msg.payload.size(), 2u);
+      EXPECT_EQ(msg.payload[0], (cplx{1.0, 2.0}));
+      ctx.send(0, 8, {cplx{5.0, 6.0}});
+    }
+  });
+}
+
+TEST(SimComm, TagsKeepStreamsSeparate) {
+  SimComm comm(2);
+  comm.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 1, {cplx{1.0, 0.0}});
+      ctx.send(1, 2, {cplx{2.0, 0.0}});
+    } else {
+      // Receive in the opposite order of sending.
+      const auto second = ctx.recv(0, 2);
+      const auto first = ctx.recv(0, 1);
+      EXPECT_EQ(first.payload[0], (cplx{1.0, 0.0}));
+      EXPECT_EQ(second.payload[0], (cplx{2.0, 0.0}));
+    }
+  });
+}
+
+TEST(SimComm, FifoWithinTag) {
+  SimComm comm(2);
+  comm.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 5; ++i) {
+        ctx.send(1, 3, {cplx{static_cast<double>(i), 0.0}});
+      }
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        const auto msg = ctx.recv(0, 3);
+        EXPECT_DOUBLE_EQ(msg.payload[0].real(), i);
+      }
+    }
+  });
+}
+
+TEST(SimComm, BarrierSynchronizesClocks) {
+  SimComm comm(4);
+  comm.run([](RankCtx& ctx) {
+    // Rank r pretends to compute r milliseconds.
+    ctx.clock().add_compute(1e-3 * static_cast<double>(ctx.rank()));
+    ctx.barrier();
+    EXPECT_GE(ctx.clock().now(), 3e-3);
+  });
+  EXPECT_GE(comm.makespan(), 3e-3);
+}
+
+TEST(SimComm, SendTimeTravelsWithMessage) {
+  SimComm comm(2);
+  comm.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.clock().add_compute(5e-3);
+      ctx.send(1, 1, {cplx{0, 0}});
+    } else {
+      const auto msg = ctx.recv(0, 1);
+      EXPECT_NEAR(msg.send_time, 5e-3, 1e-9);
+      ctx.clock().advance_to(msg.send_time);
+      EXPECT_GE(ctx.clock().now(), 5e-3);
+    }
+  });
+}
+
+TEST(SimComm, PerRankRngStreamsDiffer) {
+  SimComm comm(3);
+  std::atomic<std::uint64_t> draws[3];
+  comm.run([&](RankCtx& ctx) {
+    draws[ctx.rank()] = ctx.rng().next_u64();
+  });
+  EXPECT_NE(draws[0], draws[1]);
+  EXPECT_NE(draws[1], draws[2]);
+}
+
+TEST(SimComm, RankExceptionPropagatesWithoutDeadlock) {
+  SimComm comm(4);
+  EXPECT_THROW(comm.run([](RankCtx& ctx) {
+                 if (ctx.rank() == 2) {
+                   throw std::runtime_error("rank 2 failed");
+                 }
+                 // Everyone else parks in a barrier that can never
+                 // complete; the abort path must wake them.
+                 ctx.barrier();
+               }),
+               std::runtime_error);
+}
+
+TEST(SimComm, ManyRanksAllToAll) {
+  const std::size_t p = 8;
+  SimComm comm(p);
+  comm.run([p](RankCtx& ctx) {
+    for (std::size_t to = 0; to < p; ++to) {
+      if (to == ctx.rank()) continue;
+      ctx.send(to, 42,
+               {cplx{static_cast<double>(ctx.rank()),
+                     static_cast<double>(to)}});
+    }
+    for (std::size_t from = 0; from < p; ++from) {
+      if (from == ctx.rank()) continue;
+      const auto msg = ctx.recv(from, 42);
+      EXPECT_DOUBLE_EQ(msg.payload[0].real(), static_cast<double>(from));
+      EXPECT_DOUBLE_EQ(msg.payload[0].imag(),
+                       static_cast<double>(ctx.rank()));
+    }
+  });
+}
+
+TEST(SimComm, RejectsZeroRanks) {
+  EXPECT_THROW(SimComm comm(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftfft

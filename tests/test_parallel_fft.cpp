@@ -1,0 +1,207 @@
+#include "parallel/parallel_fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dft/reference_dft.hpp"
+#include "fft/fft.hpp"
+
+namespace ftfft {
+namespace {
+
+using parallel::ParallelOptions;
+using parallel::ParallelReport;
+
+void expect_matches_sequential(const std::vector<cplx>& x,
+                               const std::vector<cplx>& got) {
+  const auto want = fft::fft(x);
+  const double tol = 1e-9 * static_cast<double>(x.size());
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t j = 0; j < got.size(); ++j) {
+    ASSERT_NEAR(got[j].real(), want[j].real(), tol) << "j=" << j;
+    ASSERT_NEAR(got[j].imag(), want[j].imag(), tol) << "j=" << j;
+  }
+}
+
+class ParallelVariant : public ::testing::TestWithParam<int> {
+ protected:
+  static ParallelOptions variant(int id) {
+    switch (id) {
+      case 0:
+        return ParallelOptions::fftw();
+      case 1:
+        return ParallelOptions::ft_fftw();
+      case 2:
+        return ParallelOptions::opt_fftw();
+      default:
+        return ParallelOptions::opt_ft_fftw();
+    }
+  }
+};
+
+TEST_P(ParallelVariant, MatchesSequentialAcrossShapes) {
+  for (const auto& [p, n] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {2, 64}, {4, 256}, {4, 1024}, {8, 1024}, {8, 4096}, {16, 4096}}) {
+    auto x = random_vector(n, InputDistribution::kUniform, 900 + n + p);
+    ParallelReport report;
+    const auto got = parallel::parallel_fft(p, x, variant(GetParam()), &report);
+    expect_matches_sequential(x, got);
+    EXPECT_GT(report.makespan, 0.0) << "p=" << p << " n=" << n;
+    EXPECT_EQ(report.stats.comp_errors_detected, 0u);
+    EXPECT_EQ(report.stats.mem_errors_detected, 0u);
+    EXPECT_EQ(report.comm_stats.comm_errors_detected, 0u);
+  }
+}
+
+std::string variant_name(const ::testing::TestParamInfo<int>& pi) {
+  static const char* const kNames[] = {"fftw", "ft_fftw", "opt_fftw",
+                                       "opt_ft_fftw"};
+  return kNames[pi.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, ParallelVariant, ::testing::Range(0, 4),
+                         variant_name);
+
+TEST(ParallelFft, OddPowerLocalSizesWork) {
+  // n_loc = 512 = 2^9 exercises the r = 2 middle layer inside FFT2.
+  const std::size_t p = 4, n = 2048;
+  auto x = random_vector(n, InputDistribution::kNormal, 31);
+  const auto got =
+      parallel::parallel_fft(p, x, ParallelOptions::opt_ft_fftw());
+  expect_matches_sequential(x, got);
+}
+
+TEST(ParallelFft, Fft1ComputationalFaultCorrected) {
+  const std::size_t p = 4, n = 1024;
+  auto x = random_vector(n, InputDistribution::kUniform, 33);
+  ParallelReport report;
+  const auto got = parallel::parallel_fft(
+      p, x, ParallelOptions::opt_ft_fftw(), &report,
+      [](std::size_t rank, fault::Injector& inj) {
+        if (rank == 1) {
+          inj.schedule(fault::FaultSpec::computational(
+              fault::Phase::kRankFft1Output, 3, 2, {7.0, -2.0}));
+        }
+      });
+  expect_matches_sequential(x, got);
+  EXPECT_EQ(report.stats.comp_errors_detected, 1u);
+  EXPECT_EQ(report.stats.sub_fft_retries, 1u);
+}
+
+TEST(ParallelFft, Fft2FaultsCorrectedInsideInplaceScheme) {
+  const std::size_t p = 4, n = 4096;  // n_loc = 1024
+  auto x = random_vector(n, InputDistribution::kUniform, 35);
+  ParallelReport report;
+  const auto got = parallel::parallel_fft(
+      p, x, ParallelOptions::opt_ft_fftw(), &report,
+      [](std::size_t rank, fault::Injector& inj) {
+        if (rank == 2) {
+          inj.schedule(fault::FaultSpec::computational(
+              fault::Phase::kMFftOutput, 5, 1, {4.0, 4.0}));
+        }
+        if (rank == 3) {
+          inj.schedule(fault::FaultSpec::computational(
+              fault::Phase::kKFftOutput, 7, 2, {-3.0, 1.0}));
+        }
+      });
+  expect_matches_sequential(x, got);
+  EXPECT_EQ(report.stats.comp_errors_detected, 2u);
+}
+
+TEST(ParallelFft, CommunicationFaultCorrected) {
+  const std::size_t p = 4, n = 1024;
+  auto x = random_vector(n, InputDistribution::kNormal, 37);
+  ParallelReport report;
+  const auto got = parallel::parallel_fft(
+      p, x, ParallelOptions::opt_ft_fftw(), &report,
+      [](std::size_t rank, fault::Injector& inj) {
+        if (rank == 0) {
+          inj.schedule(fault::FaultSpec::computational(
+              fault::Phase::kCommBlock, 2, 9, {11.0, 3.0}));
+        }
+      });
+  expect_matches_sequential(x, got);
+  EXPECT_EQ(report.comm_stats.comm_errors_corrected, 1u);
+}
+
+TEST(ParallelFft, FinalOutputMemoryFaultCorrected) {
+  const std::size_t p = 4, n = 1024;
+  auto x = random_vector(n, InputDistribution::kUniform, 39);
+  ParallelReport report;
+  const auto got = parallel::parallel_fft(
+      p, x, ParallelOptions::opt_ft_fftw(), &report,
+      [](std::size_t rank, fault::Injector& inj) {
+        if (rank == 1) {
+          inj.schedule(fault::FaultSpec::memory_set(
+              fault::Phase::kFinalOutput, 0, 100, {42.0, -42.0}));
+        }
+      });
+  expect_matches_sequential(x, got);
+  EXPECT_EQ(report.stats.mem_errors_corrected, 1u);
+}
+
+TEST(ParallelFft, TheTable2Scenario2m2c) {
+  // Two memory faults + two computational faults on distinct units/ranks:
+  // all corrected, result exact.
+  const std::size_t p = 8, n = 4096;
+  auto x = random_vector(n, InputDistribution::kUniform, 41);
+  ParallelReport report;
+  const auto got = parallel::parallel_fft(
+      p, x, ParallelOptions::opt_ft_fftw(), &report,
+      [](std::size_t rank, fault::Injector& inj) {
+        if (rank == 0) {
+          inj.schedule(fault::FaultSpec::computational(
+              fault::Phase::kRankFft1Output, 1, 1, {5.0, 5.0}));
+        }
+        if (rank == 3) {
+          inj.schedule(fault::FaultSpec::computational(
+              fault::Phase::kKFftOutput, 2, 3, {-6.0, 2.0}));
+        }
+        if (rank == 5) {
+          inj.schedule(fault::FaultSpec::memory_set(
+              fault::Phase::kCommBlock, 1, 7, {30.0, 0.0}));
+        }
+        if (rank == 6) {
+          inj.schedule(fault::FaultSpec::memory_set(
+              fault::Phase::kFinalOutput, 0, 11, {-19.0, 8.0}));
+        }
+      });
+  expect_matches_sequential(x, got);
+  EXPECT_GE(report.stats.comp_errors_detected +
+                report.stats.mem_errors_corrected +
+                report.comm_stats.comm_errors_corrected,
+            4u);
+}
+
+TEST(ParallelFft, OverlapNeverSlowerThanBlocking) {
+  const std::size_t p = 8, n = 1 << 14;
+  auto x = random_vector(n, InputDistribution::kUniform, 43);
+  ParallelReport blocking, overlapped;
+  parallel::parallel_fft(p, x, ParallelOptions::ft_fftw(), &blocking);
+  parallel::parallel_fft(p, x, ParallelOptions::opt_ft_fftw(), &overlapped);
+  EXPECT_LT(overlapped.makespan, blocking.makespan * 1.05);
+}
+
+TEST(ParallelFft, ReportsCommunicationBytes) {
+  const std::size_t p = 4, n = 1024;
+  auto x = random_vector(n, InputDistribution::kUniform, 45);
+  ParallelReport report;
+  parallel::parallel_fft(p, x, ParallelOptions::opt_ft_fftw(), &report);
+  // Three transposes, each sending (p-1) blocks of (bsz + 2) complex.
+  const std::size_t bsz = n / (p * p);
+  EXPECT_EQ(report.bytes_per_rank,
+            3 * (p - 1) * (bsz + 2) * sizeof(cplx));
+}
+
+TEST(ParallelFft, RejectsBadGeometry) {
+  auto x = random_vector(96, InputDistribution::kUniform, 47);
+  EXPECT_THROW(parallel::parallel_fft(3, x, ParallelOptions::fftw()),
+               std::invalid_argument);  // p divisible by 3
+  EXPECT_THROW(parallel::parallel_fft(8, x, ParallelOptions::fftw()),
+               std::invalid_argument);  // 96 not divisible by 64
+}
+
+}  // namespace
+}  // namespace ftfft

@@ -1,0 +1,107 @@
+#include "dft/reference_dft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+
+namespace ftfft {
+namespace {
+
+using dft::reference_dft;
+using dft::reference_dft_element;
+using dft::reference_idft;
+
+void expect_vec_near(const std::vector<cplx>& a, const std::vector<cplx>& b,
+                     double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), tol) << "i=" << i;
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), tol) << "i=" << i;
+  }
+}
+
+TEST(ReferenceDft, ImpulseGivesFlatSpectrum) {
+  std::vector<cplx> x(8, cplx{0, 0});
+  x[0] = {1.0, 0.0};
+  const auto X = reference_dft(x);
+  for (const auto& v : X) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-14);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-14);
+  }
+}
+
+TEST(ReferenceDft, ConstantGivesImpulse) {
+  std::vector<cplx> x(16, cplx{1.0, 0.0});
+  const auto X = reference_dft(x);
+  EXPECT_NEAR(X[0].real(), 16.0, 1e-12);
+  for (std::size_t j = 1; j < 16; ++j) {
+    EXPECT_NEAR(std::abs(X[j]), 0.0, 1e-12) << j;
+  }
+}
+
+TEST(ReferenceDft, SingleToneLandsInOneBin) {
+  const std::size_t n = 32;
+  const std::size_t bin = 5;
+  std::vector<cplx> x(n);
+  for (std::size_t t = 0; t < n; ++t)
+    x[t] = std::conj(omega(n, bin * t));  // exp(+2 pi i bin t / n)
+  const auto X = reference_dft(x);
+  EXPECT_NEAR(X[bin].real(), static_cast<double>(n), 1e-11);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j != bin) EXPECT_NEAR(std::abs(X[j]), 0.0, 1e-11) << j;
+  }
+}
+
+TEST(ReferenceDft, RoundTrip) {
+  auto x = random_vector(64, InputDistribution::kUniform, 5);
+  const auto back = reference_idft(reference_dft(x));
+  expect_vec_near(back, x, 1e-12);
+}
+
+TEST(ReferenceDft, Linearity) {
+  const std::size_t n = 48;
+  auto x = random_vector(n, InputDistribution::kNormal, 6);
+  auto y = random_vector(n, InputDistribution::kNormal, 7);
+  const cplx a{2.0, -1.0};
+  const cplx b{-0.5, 3.0};
+  std::vector<cplx> combo(n);
+  for (std::size_t i = 0; i < n; ++i) combo[i] = a * x[i] + b * y[i];
+  const auto X = reference_dft(x);
+  const auto Y = reference_dft(y);
+  const auto C = reference_dft(combo);
+  for (std::size_t j = 0; j < n; ++j) {
+    const cplx expect = a * X[j] + b * Y[j];
+    EXPECT_NEAR(C[j].real(), expect.real(), 1e-10);
+    EXPECT_NEAR(C[j].imag(), expect.imag(), 1e-10);
+  }
+}
+
+TEST(ReferenceDft, ElementMatchesFull) {
+  auto x = random_vector(33, InputDistribution::kUniform, 8);
+  const auto X = reference_dft(x);
+  for (std::size_t j : {std::size_t{0}, std::size_t{1}, std::size_t{17},
+                        std::size_t{32}}) {
+    const cplx e = reference_dft_element(x.data(), x.size(), j);
+    EXPECT_NEAR(e.real(), X[j].real(), 1e-11);
+    EXPECT_NEAR(e.imag(), X[j].imag(), 1e-11);
+  }
+}
+
+TEST(ReferenceDft, RejectsEmpty) {
+  std::vector<cplx> out(1);
+  EXPECT_THROW(reference_dft(nullptr, out.data(), 0), std::invalid_argument);
+}
+
+TEST(ReferenceDft, ParsevalHolds) {
+  const std::size_t n = 50;
+  auto x = random_vector(n, InputDistribution::kNormal, 9);
+  const auto X = reference_dft(x);
+  double ex = 0, eX = 0;
+  for (const auto& v : x) ex += norm2(v);
+  for (const auto& v : X) eX += norm2(v);
+  EXPECT_NEAR(eX, ex * static_cast<double>(n), 1e-8 * eX);
+}
+
+}  // namespace
+}  // namespace ftfft
