@@ -1,0 +1,123 @@
+// Throughput of the batched protected-FFT engine.
+//
+// Not a paper figure: this measures the production-path question the paper
+// leaves open — how fast can many independent online-protected transforms
+// run at once? A batch of lanes is executed (a) as a serial loop on one
+// thread and (b) on BatchEngine at several worker counts; the table reports
+// transforms/second and the speedup over the serial loop. A second table
+// compares the fused radix-4 in-place kernel against the classic radix-2
+// schedule on single transforms.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/ftfft.hpp"
+#include "fft/inplace_radix2.hpp"
+
+namespace {
+
+using namespace ftfft;
+
+double batch_seconds(engine::BatchEngine& eng,
+                     const std::vector<std::vector<cplx>>& inputs,
+                     std::size_t n, int reps) {
+  const std::size_t lanes = inputs.size();
+  std::vector<std::vector<cplx>> ins(lanes);
+  std::vector<std::vector<cplx>> outs(lanes, std::vector<cplx>(n));
+  std::vector<engine::Lane> batch(lanes);
+  engine::BatchOptions opts;
+  opts.abft = abft::Options::online_opt(true);
+  return bench::time_best(reps, [&] {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      ins[l] = inputs[l];
+      batch[l] = {ins[l].data(), outs[l].data(), nullptr};
+    }
+    (void)eng.transform_batch(batch, n, opts);
+  });
+}
+
+double serial_seconds(const std::vector<std::vector<cplx>>& inputs,
+                      std::size_t n, int reps) {
+  const std::size_t lanes = inputs.size();
+  std::vector<std::vector<cplx>> outs(lanes, std::vector<cplx>(n));
+  const abft::Options opts = abft::Options::online_opt(true);
+  return bench::time_best(reps, [&] {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      auto x = inputs[l];
+      abft::Stats stats;
+      abft::protected_transform(x.data(), outs[l].data(), n, opts, stats);
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("batch engine throughput",
+                "production extension (no paper figure); TurboFFT-style "
+                "batched fault-tolerant execution");
+
+  const std::size_t n = scaled_size(4096);
+  const std::size_t lanes = 64;
+  const int reps = static_cast<int>(scaled_runs(5));
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::vector<std::vector<cplx>> inputs;
+  inputs.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    inputs.push_back(
+        random_vector(n, InputDistribution::kUniform, 1000 + l));
+  }
+
+  std::printf("batch: %zu lanes x %zu-point online-protected FFTs "
+              "(hardware_concurrency = %u)\n\n",
+              lanes, n, hw);
+
+  const double t_serial = serial_seconds(inputs, n, reps);
+  TablePrinter table({"config", "time (ms)", "transforms/s", "speedup"});
+  table.add_row({"serial loop (1 thread)",
+                 TablePrinter::fixed(t_serial * 1e3, 2),
+                 TablePrinter::fixed(static_cast<double>(lanes) / t_serial, 0),
+                 "1.00"});
+
+  std::vector<unsigned> thread_counts{1, 2, 4};
+  if (hw > 4) thread_counts.push_back(hw);
+  for (unsigned t : thread_counts) {
+    engine::BatchEngine eng(t);
+    const double sec = batch_seconds(eng, inputs, n, reps);
+    char label[64];
+    std::snprintf(label, sizeof label, "BatchEngine (%u threads)", t);
+    char speedup[32];
+    std::snprintf(speedup, sizeof speedup, "%.2f", t_serial / sec);
+    table.add_row({label, TablePrinter::fixed(sec * 1e3, 2),
+                   TablePrinter::fixed(static_cast<double>(lanes) / sec, 0),
+                   speedup});
+  }
+  table.print();
+
+  std::printf("\nradix-4 vs radix-2 in-place kernel (single transform)\n\n");
+  TablePrinter kernel_table({"n", "radix-2 (us)", "radix-4 (us)", "speedup"});
+  for (std::size_t kn : {1u << 10, 1u << 12, 1u << 14, 1u << 16, 1u << 18}) {
+    const auto plan = fft::InplaceRadix2Plan::get(kn);
+    auto base = random_vector(kn, InputDistribution::kUniform, 7);
+    std::vector<cplx> work(kn);
+    const int kernel_reps = static_cast<int>(scaled_runs(40));
+    const double t2 = bench::time_best(kernel_reps, [&] {
+      std::copy(base.begin(), base.end(), work.begin());
+      plan->forward_radix2(work.data());
+    });
+    const double t4 = bench::time_best(kernel_reps, [&] {
+      std::copy(base.begin(), base.end(), work.begin());
+      plan->forward(work.data());
+    });
+    char speedup[32];
+    std::snprintf(speedup, sizeof speedup, "%.2f", t2 / t4);
+    kernel_table.add_row({bench::size_label(kn),
+                          TablePrinter::fixed(t2 * 1e6, 1),
+                          TablePrinter::fixed(t4 * 1e6, 1), speedup});
+  }
+  kernel_table.print();
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "abft/protected_fft.hpp"
 
+#include "abft/inplace.hpp"
 #include "abft/offline.hpp"
 #include "abft/online.hpp"
+#include "engine/batch_engine.hpp"
 #include "fft/fft.hpp"
 
 namespace ftfft::abft {
@@ -23,10 +25,34 @@ void protected_transform(cplx* in, cplx* out, std::size_t n,
   }
 }
 
+void protected_transform_inplace(cplx* data, std::size_t n,
+                                 const Options& opts, Stats& stats) {
+  switch (opts.mode) {
+    case Mode::kNone: {
+      fft::Fft engine(n);
+      engine.execute_inplace(data);
+      return;
+    }
+    case Mode::kOffline: {
+      // Offline protection has no in-place recovery story (the restart
+      // input is gone); stage through a copy so the checksummed transform
+      // still sees an intact input while writing over `data`.
+      std::vector<cplx> copy(data, data + n);
+      protected_transform(copy.data(), data, n, opts, stats);
+      return;
+    }
+    case Mode::kOnline:
+      inplace_online_transform(data, n, opts, stats);
+      return;
+  }
+}
+
 std::vector<cplx> protected_fft(std::vector<cplx> input, const Options& opts) {
+  // Single shot = a batch of one; the shared engine runs it inline on the
+  // calling thread, so this costs no dispatch over the raw transform.
   std::vector<cplx> out(input.size());
-  Stats stats;
-  protected_transform(input.data(), out.data(), input.size(), opts, stats);
+  engine::BatchEngine::shared().transform_one(input.data(), out.data(),
+                                              input.size(), opts);
   return out;
 }
 

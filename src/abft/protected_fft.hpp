@@ -19,6 +19,14 @@ namespace ftfft::abft {
 void protected_transform(cplx* in, cplx* out, std::size_t n,
                          const Options& opts, Stats& stats);
 
+/// In-place forward DFT with the protection selected in `opts`: the k*r*k
+/// scheme (section 5) for kOnline, staging through an internal copy for
+/// kOffline (whose restart needs an intact input), plain in-place FFT for
+/// kNone. Natural-order output. Shared by FtPlan::forward_inplace and the
+/// batch engine so the mode dispatch lives in exactly one place.
+void protected_transform_inplace(cplx* data, std::size_t n,
+                                 const Options& opts, Stats& stats);
+
 /// Convenience overload: allocates the output, default stats sink.
 std::vector<cplx> protected_fft(std::vector<cplx> input, const Options& opts);
 

@@ -8,13 +8,13 @@ FtPlan::FtPlan(std::size_t n, PlanConfig config) : n_(n), config_(config) {
   detail::require(n >= 1, "FtPlan: size must be >= 1");
 }
 
-abft::Options FtPlan::abft_options() const {
-  abft::Options o = config_.optimized
+abft::Options make_abft_options(const PlanConfig& config) {
+  abft::Options o = config.optimized
                         ? abft::Options::online_opt(
-                              config_.memory_fault_tolerance)
+                              config.memory_fault_tolerance)
                         : abft::Options::online_naive(
-                              config_.memory_fault_tolerance);
-  switch (config_.protection) {
+                              config.memory_fault_tolerance);
+  switch (config.protection) {
     case Protection::kNone:
       o.mode = abft::Mode::kNone;
       break;
@@ -25,10 +25,21 @@ abft::Options FtPlan::abft_options() const {
       o.mode = abft::Mode::kOnline;
       break;
   }
-  o.eta_override = config_.eta_override;
-  o.max_retries = config_.max_retries;
-  o.injector = config_.injector;
+  o.eta_override = config.eta_override;
+  o.max_retries = config.max_retries;
+  o.injector = config.injector;
   return o;
+}
+
+engine::BatchReport transform_batch(std::span<const engine::Lane> lanes,
+                                    std::size_t n, const PlanConfig& config) {
+  engine::BatchOptions opts;
+  opts.abft = make_abft_options(config);
+  return engine::BatchEngine::shared().transform_batch(lanes, n, opts);
+}
+
+abft::Options FtPlan::abft_options() const {
+  return make_abft_options(config_);
 }
 
 void FtPlan::forward(cplx* in, cplx* out) {
@@ -45,26 +56,7 @@ std::vector<cplx> FtPlan::forward(std::vector<cplx> input) {
 
 void FtPlan::forward_inplace(cplx* data) {
   stats_.reset();
-  switch (config_.protection) {
-    case Protection::kNone: {
-      fft::Fft engine(n_);
-      engine.execute_inplace(data);
-      return;
-    }
-    case Protection::kOffline: {
-      // Offline protection has no in-place recovery story (the restart
-      // input is gone); stage through scratch so the checksummed transform
-      // still sees an intact input copy.
-      if (scratch_.size() < n_) scratch_.resize(n_);
-      std::copy(data, data + n_, scratch_.begin());
-      abft::protected_transform(scratch_.data(), data, n_, abft_options(),
-                                stats_);
-      return;
-    }
-    case Protection::kOnline:
-      abft::inplace_online_transform(data, n_, abft_options(), stats_);
-      return;
-  }
+  abft::protected_transform_inplace(data, n_, abft_options(), stats_);
 }
 
 void FtPlan::backward(cplx* in, cplx* out) {

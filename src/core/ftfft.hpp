@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "abft/inplace.hpp"     // IWYU pragma: export
@@ -23,6 +24,7 @@
 #include "common/complex.hpp"   // IWYU pragma: export
 #include "common/error.hpp"     // IWYU pragma: export
 #include "common/rng.hpp"       // IWYU pragma: export
+#include "engine/batch_engine.hpp"  // IWYU pragma: export
 #include "fault/injector.hpp"   // IWYU pragma: export
 #include "fft/fft.hpp"          // IWYU pragma: export
 #include "parallel/parallel_fft.hpp"  // IWYU pragma: export
@@ -51,6 +53,19 @@ struct PlanConfig {
   /// Optional fault injector for experiments.
   fault::Injector* injector = nullptr;
 };
+
+/// Translates the plan-level configuration into the ABFT option set used by
+/// both FtPlan and the batch entry points. Exposed so batch callers can
+/// tweak individual switches before submitting.
+[[nodiscard]] abft::Options make_abft_options(const PlanConfig& config);
+
+/// Runs the protected n-point transform on every lane concurrently on the
+/// process-wide shared BatchEngine. Lanes share `config`; schedule per-lane
+/// injectors through engine::Lane::injector. See engine/batch_engine.hpp
+/// for the full contract (per-lane stats, failure isolation).
+engine::BatchReport transform_batch(std::span<const engine::Lane> lanes,
+                                    std::size_t n,
+                                    const PlanConfig& config = {});
 
 /// A reusable soft-error-protected transform of one size.
 ///

@@ -1,0 +1,284 @@
+#include "engine/batch_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "abft/protected_fft.hpp"
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+
+namespace ftfft::engine {
+
+namespace {
+
+void accumulate(abft::Stats& into, const abft::Stats& s) {
+  into.comp_errors_detected += s.comp_errors_detected;
+  into.mem_errors_detected += s.mem_errors_detected;
+  into.mem_errors_corrected += s.mem_errors_corrected;
+  into.sub_fft_retries += s.sub_fft_retries;
+  into.full_restarts += s.full_restarts;
+  into.dmr_mismatches += s.dmr_mismatches;
+  into.verifications += s.verifications;
+  // Thresholds are per-transform quantities; keep the widest one seen so
+  // the batch report still answers "what eta was in force".
+  into.eta_m = std::max(into.eta_m, s.eta_m);
+  into.eta_k = std::max(into.eta_k, s.eta_k);
+  into.eta_mem = std::max(into.eta_mem, s.eta_mem);
+}
+
+std::size_t pick_chunk(std::size_t lanes, std::size_t threads,
+                       std::size_t requested) {
+  if (requested > 0) return requested;
+  // ~4 grabs per worker: enough slack for load balancing without
+  // hammering the shared cursor on small lanes.
+  const std::size_t grabs = std::max<std::size_t>(threads * 4, 1);
+  return std::max<std::size_t>(1, (lanes + grabs - 1) / grabs);
+}
+
+}  // namespace
+
+struct BatchEngine::Impl {
+  // Per-worker staging storage, reused across lanes and batches.
+  struct Arena {
+    AlignedBuffer<cplx> staging;
+
+    cplx* ensure(std::size_t n) {
+      if (staging.size() < n) staging = AlignedBuffer<cplx>(n);
+      return staging.data();
+    }
+  };
+
+  // One batch in flight; guarded by mu for publication, raced via atomics.
+  struct Job {
+    const Lane* lanes = nullptr;
+    std::size_t count = 0;
+    std::size_t n = 0;
+    const BatchOptions* opts = nullptr;
+    BatchReport* report = nullptr;
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> remaining{0};
+    std::atomic<std::size_t> workers_inside{0};
+    std::size_t chunk = 1;
+  };
+
+  explicit Impl(std::size_t num_threads)
+      : num_threads_(num_threads == 0
+                         ? std::max(1u, std::thread::hardware_concurrency())
+                         : num_threads),
+        arenas_(num_threads_) {}
+
+  ~Impl() {
+    {
+      std::scoped_lock lock(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  void spawn_workers() {
+    if (!workers_.empty() || num_threads_ <= 1) return;
+    workers_.reserve(num_threads_ - 1);
+    // Worker w uses arenas_[w]; the caller thread (which participates in
+    // every batch) uses the last arena slot.
+    for (std::size_t w = 0; w + 1 < num_threads_; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  void worker_loop(std::size_t arena_index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock lock(mu_);
+        cv_work_.wait(lock,
+                      [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+        // job_ can already be retired (batch finished before this worker
+        // woke); the caller clears it under mu_, so a non-null read here
+        // guarantees the Job outlives our drain (the caller additionally
+        // waits for workers_inside to hit zero).
+        if (job == nullptr) continue;
+        job->workers_inside.fetch_add(1, std::memory_order_relaxed);
+      }
+      drain(*job, arenas_[arena_index]);
+      {
+        std::scoped_lock lock(mu_);
+        job->workers_inside.fetch_sub(1, std::memory_order_acq_rel);
+        cv_done_.notify_all();
+      }
+    }
+  }
+
+  // Claims chunks of lanes until the batch cursor is exhausted.
+  void drain(Job& job, Arena& arena) {
+    for (;;) {
+      const std::size_t begin =
+          job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
+      if (begin >= job.count) break;
+      const std::size_t end = std::min(begin + job.chunk, job.count);
+      for (std::size_t i = begin; i < end; ++i) {
+        run_lane(job, i, arena);
+      }
+      const std::size_t done = end - begin;
+      if (job.remaining.fetch_sub(done, std::memory_order_acq_rel) == done) {
+        std::scoped_lock lock(mu_);
+        cv_done_.notify_all();
+      }
+    }
+  }
+
+  void run_lane(Job& job, std::size_t index, Arena& arena) {
+    const Lane& lane = job.lanes[index];
+    const std::size_t n = job.n;
+    BatchReport& report = *job.report;
+    abft::Options opts = job.opts->abft;
+    if (lane.injector != nullptr) opts.injector = lane.injector;
+    try {
+      cplx* in = lane.in;
+      if (job.opts->preserve_inputs || lane.out == lane.in) {
+        cplx* staged = arena.ensure(n);
+        std::copy(lane.in, lane.in + n, staged);
+        in = staged;
+      }
+      abft::Stats& stats = report.per_lane[index];
+      if (lane.out == nullptr) {
+        abft::protected_transform_inplace(in, n, opts, stats);
+        if (in != lane.in) std::copy(in, in + n, lane.in);
+      } else {
+        abft::protected_transform(in, lane.out, n, opts, stats);
+      }
+    } catch (const std::exception& e) {
+      report.errors[index] = e.what();
+      report.exceptions[index] = std::current_exception();
+    }
+  }
+
+  BatchReport run(std::span<const Lane> lanes, std::size_t n,
+                  const BatchOptions& opts) {
+    detail::require(n >= 1, "BatchEngine: size must be >= 1");
+    for (const Lane& lane : lanes) {
+      detail::require(lane.in != nullptr,
+                      "BatchEngine: lane input must not be null");
+    }
+    // Injector::apply mutates armed-fault state; a single injector shared
+    // by concurrently executing lanes would race. Per-lane injectors are
+    // the supported way to fault a batch.
+    detail::require(opts.abft.injector == nullptr || lanes.size() <= 1 ||
+                        num_threads_ == 1,
+                    "BatchEngine: a batch-wide injector is not thread-safe; "
+                    "use per-lane Lane::injector instead");
+    BatchReport report;
+    report.lanes = lanes.size();
+    report.per_lane.resize(lanes.size());
+    report.errors.resize(lanes.size());
+    report.exceptions.resize(lanes.size());
+    if (lanes.empty()) return report;
+
+    Job job;
+    job.lanes = lanes.data();
+    job.count = lanes.size();
+    job.n = n;
+    job.opts = &opts;
+    job.report = &report;
+    job.remaining.store(lanes.size(), std::memory_order_relaxed);
+    job.chunk = pick_chunk(lanes.size(), num_threads_, opts.chunk);
+
+    const bool parallel = num_threads_ > 1 && lanes.size() > 1;
+    if (parallel) {
+      spawn_workers();
+      {
+        std::scoped_lock lock(mu_);
+        job_ = &job;
+        ++generation_;
+      }
+      cv_work_.notify_all();
+    }
+    // The caller thread always participates using the reserved last arena.
+    drain(job, arenas_[num_threads_ - 1]);
+    if (parallel) {
+      std::unique_lock lock(mu_);
+      cv_done_.wait(lock, [&] {
+        return job.remaining.load(std::memory_order_acquire) == 0 &&
+               job.workers_inside.load(std::memory_order_acquire) == 0;
+      });
+      job_ = nullptr;
+    }
+
+    for (std::size_t i = 0; i < report.lanes; ++i) {
+      if (report.errors[i].empty()) {
+        accumulate(report.totals, report.per_lane[i]);
+      } else {
+        ++report.failed_lanes;
+      }
+    }
+    return report;
+  }
+
+  const std::size_t num_threads_;
+  std::vector<Arena> arenas_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+BatchEngine::BatchEngine(std::size_t num_threads)
+    : impl_(std::make_unique<Impl>(num_threads)) {}
+
+BatchEngine::~BatchEngine() = default;
+
+std::size_t BatchEngine::num_threads() const noexcept {
+  return impl_->num_threads_;
+}
+
+BatchReport BatchEngine::transform_batch(std::span<const Lane> lanes,
+                                         std::size_t n,
+                                         const BatchOptions& opts) {
+  return impl_->run(lanes, n, opts);
+}
+
+BatchReport BatchEngine::transform_batch(cplx* in, cplx* out, std::size_t n,
+                                         std::size_t count,
+                                         const BatchOptions& opts) {
+  detail::require(in != nullptr, "BatchEngine: batch input must not be null");
+  std::vector<Lane> lanes(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    lanes[i].in = in + i * n;
+    lanes[i].out = out == nullptr ? nullptr : out + i * n;
+  }
+  return impl_->run(lanes, n, opts);
+}
+
+abft::Stats BatchEngine::transform_one(cplx* in, cplx* out, std::size_t n,
+                                       const abft::Options& opts) {
+  Lane lane{in, out, nullptr};
+  BatchOptions batch_opts;
+  batch_opts.abft = opts;
+  BatchReport report = impl_->run({&lane, 1}, n, batch_opts);
+  // Rethrow the lane's original exception so single-shot callers keep the
+  // documented taxonomy (invalid_argument for misuse, UncorrectableError
+  // for fault-model violations).
+  if (report.failed_lanes > 0) std::rethrow_exception(report.exceptions[0]);
+  return report.per_lane[0];
+}
+
+BatchEngine& BatchEngine::shared() {
+  static BatchEngine instance;
+  return instance;
+}
+
+}  // namespace ftfft::engine

@@ -1,0 +1,126 @@
+// Batched multi-threaded execution of protected transforms.
+//
+// The paper's online ABFT scheme protects one transform at a time; a
+// production deployment runs many independent transforms ("lanes") in
+// flight at once. BatchEngine owns a small pool of worker threads and a
+// chunked dynamic scheduler: lanes are claimed from a shared atomic cursor
+// in contiguous chunks, so fast workers naturally steal the load of slow
+// ones (a lane that needs fault-correction retries costs more than a clean
+// lane and the imbalance is absorbed without static partitioning).
+//
+// Shared, immutable state (decomposition plans, twiddle tables) comes for
+// free through the process-wide make_plan() / InplaceRadix2Plan::get()
+// caches; per-thread mutable state (staging copies of lane inputs) lives in
+// a per-worker aligned arena that grows once and is reused across lanes and
+// batches. Per-lane abft::Stats land in pre-sized slots, so workers never
+// contend on shared counters.
+//
+// A lane that throws (UncorrectableError when the fault model is exceeded)
+// is recorded in the report and does not disturb the other lanes.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "abft/options.hpp"
+#include "common/complex.hpp"
+#include "fault/injector.hpp"
+
+namespace ftfft::engine {
+
+/// One transform in a batch. All lanes in a batch share the same size and
+/// protection options; in/out buffers must not overlap between lanes.
+struct Lane {
+  /// Input samples (n elements). May be modified by fault repair unless
+  /// BatchOptions::preserve_inputs is set.
+  cplx* in = nullptr;
+  /// Output spectrum (n elements). nullptr = transform in place over `in`.
+  /// `out == in` is allowed and staged through the worker arena.
+  cplx* out = nullptr;
+  /// Optional per-lane fault injector (overrides the batch-wide one);
+  /// campaigns schedule different faults into different lanes with this.
+  fault::Injector* injector = nullptr;
+};
+
+/// Batch-wide execution knobs beyond the per-lane ABFT options.
+struct BatchOptions {
+  /// Protection configuration applied to every lane.
+  abft::Options abft{};
+  /// Lanes claimed per scheduler grab; 0 = pick from batch size and thread
+  /// count. Bigger chunks amortize the atomic, smaller ones balance better.
+  std::size_t chunk = 0;
+  /// Stage every lane input through the worker arena so the caller's input
+  /// buffers are never written (fault repair then fixes the staged copy).
+  bool preserve_inputs = false;
+};
+
+/// What the fault tolerance did across a whole batch.
+struct BatchReport {
+  std::size_t lanes = 0;         ///< lanes submitted
+  std::size_t failed_lanes = 0;  ///< lanes whose transform threw
+  abft::Stats totals;            ///< element-wise sum over per_lane
+  std::vector<abft::Stats> per_lane;
+  /// Empty string = lane succeeded; otherwise the exception message.
+  std::vector<std::string> errors;
+  /// The original exception per failed lane (null when the lane
+  /// succeeded), so callers can preserve the library's error taxonomy
+  /// (UncorrectableError vs std::invalid_argument) instead of parsing
+  /// messages.
+  std::vector<std::exception_ptr> exceptions;
+
+  [[nodiscard]] bool all_ok() const noexcept { return failed_lanes == 0; }
+};
+
+/// Reusable multi-threaded engine for batches of protected transforms.
+///
+/// Workers are spawned lazily on the first batch with more than one lane
+/// and parked on a condition variable between batches, so an engine is
+/// cheap to construct and a batch of one runs inline on the caller's
+/// thread (which is how the single-shot API delegates here without paying
+/// for a dispatch). One engine instance must not be used from two threads
+/// at once; plans and twiddles it touches are process-wide and shared.
+class BatchEngine {
+ public:
+  /// num_threads = 0 picks std::thread::hardware_concurrency().
+  explicit BatchEngine(std::size_t num_threads = 0);
+  ~BatchEngine();
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const noexcept;
+
+  /// Runs the protected n-point transform on every lane concurrently.
+  /// Lane failures are reported, not thrown; misuse (n == 0, null lane
+  /// pointers) throws std::invalid_argument before any work starts. A
+  /// batch-wide injector (opts.abft.injector) mutates per-fault state on
+  /// apply and is therefore rejected for multi-lane batches on a
+  /// multi-thread engine — schedule per-lane injectors instead.
+  BatchReport transform_batch(std::span<const Lane> lanes, std::size_t n,
+                              const BatchOptions& opts = {});
+
+  /// Convenience: `count` lanes packed contiguously, lane L reading
+  /// in + L*n and writing out + L*n (out == nullptr → in place).
+  BatchReport transform_batch(cplx* in, cplx* out, std::size_t n,
+                              std::size_t count,
+                              const BatchOptions& opts = {});
+
+  /// Single-shot protected transform: a batch of one, run inline.
+  abft::Stats transform_one(cplx* in, cplx* out, std::size_t n,
+                            const abft::Options& opts = {});
+
+  /// Process-wide shared engine (hardware_concurrency workers) used by the
+  /// single-shot convenience wrappers. Serialize access externally if you
+  /// submit batches to it from multiple threads.
+  static BatchEngine& shared();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ftfft::engine

@@ -34,10 +34,14 @@ InplaceRadix2Plan::InplaceRadix2Plan(std::size_t n) : n_(n) {
   for (std::size_t k = 0; k < n / 2; ++k) twiddle_half_[k] = omega(n, k);
 }
 
-void InplaceRadix2Plan::run(cplx* data, bool inverse) const {
+void InplaceRadix2Plan::permute(cplx* data) const {
   for (std::size_t p = 0; p + 1 < bit_reverse_.size(); p += 2) {
     std::swap(data[bit_reverse_[p]], data[bit_reverse_[p + 1]]);
   }
+}
+
+void InplaceRadix2Plan::run_radix2(cplx* data, bool inverse) const {
+  permute(data);
   // Stage s merges blocks of half = 2^(s-1). The twiddle for butterfly j of
   // stage s is omega_{2^s}^j = omega_n^(j * n / 2^s).
   for (unsigned s = 1; s <= log2n_; ++s) {
@@ -58,10 +62,71 @@ void InplaceRadix2Plan::run(cplx* data, bool inverse) const {
   }
 }
 
-void InplaceRadix2Plan::forward(cplx* data) const { run(data, false); }
+void InplaceRadix2Plan::run_radix4(cplx* data, bool inverse) const {
+  permute(data);
+  unsigned s = 1;
+  // Odd log2(n): burn one level with the twiddle-free radix-2 stage so the
+  // remaining level count is even and pairs up into radix-4 stages.
+  if (log2n_ & 1u) {
+    for (std::size_t base = 0; base < n_; base += 2) {
+      const cplx u = data[base];
+      const cplx t = data[base + 1];
+      data[base] = u + t;
+      data[base + 1] = u - t;
+    }
+    s = 2;
+  }
+  // Fused stages s and s+1: one pass performs the radix-2 butterflies of
+  // both levels while the four quarter elements are in registers. Within a
+  // block of len = 2^(s+1), butterfly j uses
+  //   w1 = omega_{2^s}^j       (level-s twiddle, index stride n >> s)
+  //   w2 = omega_{2^(s+1)}^j   (level-(s+1) twiddle, index stride n >> (s+1))
+  //   omega_{2^(s+1)}^(j+q) = w2 * (-i)  [forward; +i inverse]
+  for (; s + 1 <= log2n_; s += 2) {
+    const std::size_t len = std::size_t{1} << (s + 1);
+    const std::size_t quarter = len >> 2;
+    const std::size_t step1 = n_ >> s;
+    const std::size_t step2 = n_ >> (s + 1);
+    for (std::size_t base = 0; base < n_; base += len) {
+      std::size_t tw1 = 0;
+      std::size_t tw2 = 0;
+      for (std::size_t j = 0; j < quarter; ++j, tw1 += step1, tw2 += step2) {
+        const cplx w1 = inverse ? std::conj(twiddle_half_[tw1])
+                                : twiddle_half_[tw1];
+        const cplx w2 = inverse ? std::conj(twiddle_half_[tw2])
+                                : twiddle_half_[tw2];
+        const cplx a = data[base + j];
+        const cplx b = data[base + j + quarter];
+        const cplx c = data[base + j + 2 * quarter];
+        const cplx d = data[base + j + 3 * quarter];
+        // Level s on the two half-blocks.
+        const cplx t0 = cmul(b, w1);
+        const cplx a1 = a + t0;
+        const cplx b1 = a - t0;
+        const cplx t1 = cmul(d, w1);
+        const cplx c1 = c + t1;
+        const cplx d1 = c - t1;
+        // Level s+1 across the half-blocks.
+        const cplx t2 = cmul(c1, w2);
+        const cplx t3raw = cmul(d1, w2);
+        const cplx t3 = inverse ? mul_i(t3raw) : mul_neg_i(t3raw);
+        data[base + j] = a1 + t2;
+        data[base + j + 2 * quarter] = a1 - t2;
+        data[base + j + quarter] = b1 + t3;
+        data[base + j + 3 * quarter] = b1 - t3;
+      }
+    }
+  }
+}
+
+void InplaceRadix2Plan::forward(cplx* data) const { run_radix4(data, false); }
+
+void InplaceRadix2Plan::forward_radix2(cplx* data) const {
+  run_radix2(data, false);
+}
 
 void InplaceRadix2Plan::inverse(cplx* data) const {
-  run(data, true);
+  run_radix4(data, true);
   const double inv_n = 1.0 / static_cast<double>(n_);
   for (std::size_t i = 0; i < n_; ++i) data[i] *= inv_n;
 }

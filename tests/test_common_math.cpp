@@ -97,9 +97,10 @@ TEST(MathUtil, BalancedSplitGeneral) {
 }
 
 TEST(MathUtil, BalancedSplitRejectsPrimesAndTiny) {
-  EXPECT_THROW(balanced_split(7), std::invalid_argument);
-  EXPECT_THROW(balanced_split(2), std::invalid_argument);
-  EXPECT_THROW(balanced_split(3), std::invalid_argument);
+  // void-cast: balanced_split is [[nodiscard]] and EXPECT_THROW discards.
+  EXPECT_THROW(static_cast<void>(balanced_split(7)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(balanced_split(2)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(balanced_split(3)), std::invalid_argument);
 }
 
 TEST(MathUtil, SquareSplit) {

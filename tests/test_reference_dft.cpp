@@ -49,7 +49,9 @@ TEST(ReferenceDft, SingleToneLandsInOneBin) {
   const auto X = reference_dft(x);
   EXPECT_NEAR(X[bin].real(), static_cast<double>(n), 1e-11);
   for (std::size_t j = 0; j < n; ++j) {
-    if (j != bin) EXPECT_NEAR(std::abs(X[j]), 0.0, 1e-11) << j;
+    if (j != bin) {
+      EXPECT_NEAR(std::abs(X[j]), 0.0, 1e-11) << j;
+    }
   }
 }
 
