@@ -5,13 +5,17 @@
 // run at once? A batch of lanes is executed (a) as a serial loop on one
 // thread and (b) on BatchEngine at several worker counts; the table reports
 // transforms/second and the speedup over the serial loop. A second table
-// compares the fused radix-4 in-place kernel against the classic radix-2
-// schedule on single transforms.
+// splits a batch into ABFT setup vs transform time to show the
+// ProtectionPlan amortization (setup once per batch instead of per lane),
+// and a third compares the fused radix-4 in-place kernel against the
+// classic radix-2 schedule on single transforms.
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "abft/protection_plan.hpp"
 #include "bench_util.hpp"
+#include "checksum/weights.hpp"
 #include "common/rng.hpp"
 #include "core/ftfft.hpp"
 #include "fft/inplace_radix2.hpp"
@@ -96,6 +100,61 @@ int main() {
                    speedup});
   }
   table.print();
+
+  // ------------------------------------------------- setup vs transform
+  // The per-(n, options) ABFT setup — rA checksum vectors for both layers,
+  // balanced split, threshold coefficients, staging layout — lives in a
+  // cached ProtectionPlan. The batch engine resolves it once per batch, so
+  // the old per-lane rebuild cost (lanes x build) collapses to one build.
+  std::printf("\nsetup vs transform split (ProtectionPlan amortization)\n\n");
+  const abft::Options popts = abft::Options::online_opt(true);
+  const auto pplan = abft::ProtectionPlan::get(n, abft::Scheme::kOnline,
+                                               popts);
+  // What every lane used to rebuild per call: DMR-protected rA generation
+  // for both layers (the weight cache is bypassed on purpose — this is the
+  // pre-plan cost).
+  const double t_build = bench::time_best(
+      static_cast<int>(scaled_runs(20)), [&] {
+        const auto cm =
+            checksum::input_checksum_vector_dmr(pplan->m(), popts.ra_method);
+        const auto ck =
+            checksum::input_checksum_vector_dmr(pplan->k(), popts.ra_method);
+        (void)cm;
+        (void)ck;
+      });
+  engine::BatchEngine warm_eng(hw);
+  const double t_batch = batch_seconds(warm_eng, inputs, n, reps);
+  // Each row's share is measured against its own transform wall time: the
+  // per-lane rebuild belonged to the serial-loop world (t_serial), the
+  // once-per-batch build to the multi-threaded engine batch (t_batch).
+  TablePrinter split(
+      {"path", "setup (us/batch)", "transform (ms)", "setup share"});
+  const double setup_percall = static_cast<double>(lanes) * t_build;
+  char share_percall[32], share_batched[32];
+  std::snprintf(share_percall, sizeof share_percall, "%.1f%%",
+                100.0 * setup_percall / (setup_percall + t_serial));
+  std::snprintf(share_batched, sizeof share_batched, "%.2f%%",
+                100.0 * t_build / (t_build + t_batch));
+  split.add_row({"per-call (serial loop, setup per lane)",
+                 TablePrinter::fixed(setup_percall * 1e6, 1),
+                 TablePrinter::fixed(t_serial * 1e3, 2), share_percall});
+  split.add_row({"batched (one ProtectionPlan per batch)",
+                 TablePrinter::fixed(t_build * 1e6, 1),
+                 TablePrinter::fixed(t_batch * 1e3, 2), share_batched});
+  split.print();
+
+  // Counter proof of the amortization: a repeat batch of the same size must
+  // perform zero rA generation passes.
+  {
+    const auto before = checksum::ra_generations();
+    const double unused = batch_seconds(warm_eng, inputs, n, 1);
+    (void)unused;
+    std::printf("\nrA generation passes during a warm %zu-lane batch: %llu "
+                "(setup fully amortized)\n",
+                lanes,
+                static_cast<unsigned long long>(checksum::ra_generations() -
+                                                before));
+  }
 
   std::printf("\nradix-4 vs radix-2 in-place kernel (single transform)\n\n");
   TablePrinter kernel_table({"n", "radix-2 (us)", "radix-4 (us)", "speedup"});

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "abft/dmr.hpp"
+#include "abft/protection_plan.hpp"
 #include "checksum/dot.hpp"
 #include "checksum/memory_checksum.hpp"
 #include "checksum/weights.hpp"
@@ -26,13 +27,17 @@ double sigma_of(double energy, std::size_t n) {
 
 class InplaceRun {
  public:
-  InplaceRun(cplx* data, std::size_t n, const Options& opts, Stats& stats)
-      : x_(data), n_(n), opts_(opts), stats_(stats) {
-    const InplaceShape shape = inplace_shape(n);
-    k_ = shape.k;
-    r_ = shape.r;
-    blk_ = r_ * k_;  // block length; also stride and count of layer 1
-  }
+  InplaceRun(cplx* data, const ProtectionPlan& plan, const Options& opts,
+             Stats& stats)
+      : x_(data),
+        plan_(plan),
+        n_(plan.n()),
+        k_(plan.k()),
+        r_(plan.r()),
+        blk_(plan.block()),  // block length; also stride and count of layer 1
+        ck_(plan.weights_k()),
+        opts_(opts),
+        stats_(stats) {}
 
   void run() {
     setup();
@@ -46,23 +51,24 @@ class InplaceRun {
   double eta_comp(double energy) const {
     return opts_.eta_override > 0.0
                ? opts_.eta_override
-               : roundoff::practical_eta(k_, sigma_of(energy, k_));
+               : roundoff::eta_from_coeff(plan_.eta_k().comp,
+                                          sigma_of(energy, k_));
   }
   double eta_mem(double energy) const {
     return opts_.eta_override > 0.0
                ? opts_.eta_override
-               : roundoff::practical_eta_memory(k_, sigma_of(energy, k_));
+               : roundoff::eta_from_coeff(plan_.eta_k().mem,
+                                          sigma_of(energy, k_));
   }
 
   void setup() {
-    ck_ = checksum::input_checksum_vector_dmr(k_, opts_.ra_method);
     if (inj() != nullptr) inj()->apply(Phase::kInputBeforeChecksum, 0, x_, n_);
     if (opts_.memory_ft) {
       // CMCG: slot i covers the layer-1 sub-FFT over x[s*blk + i].
       s1_.assign(blk_, cplx{0, 0});
       s2_.assign(blk_, cplx{0, 0});
       e_in_.assign(blk_, 0.0);
-      const cplx* w = opts_.combined_checksums ? ck_.data() : nullptr;
+      const cplx* w = opts_.combined_checksums ? ck_ : nullptr;
       for (std::size_t s = 0; s < k_; ++s) {
         const cplx ws = (w != nullptr) ? w[s] : cplx{1.0, 0.0};
         const double sd = static_cast<double>(s);
@@ -104,7 +110,7 @@ class InplaceRun {
         if (opts_.memory_ft && !opts_.postpone_mcv) {
           repair_input_slot(i, buf.data());
         }
-        ccg = checksum::weighted_sum(ck_.data(), buf.data(), k_);
+        ccg = checksum::weighted_sum(ck_, buf.data(), k_);
       }
 
       const double eta = eta_comp(energy);
@@ -125,7 +131,7 @@ class InplaceRun {
         if (opts_.memory_ft) {
           if (repair_input_slot(i, buf.data())) {
             if (!opts_.combined_checksums) {
-              ccg = checksum::weighted_sum(ck_.data(), buf.data(), k_);
+              ccg = checksum::weighted_sum(ck_, buf.data(), k_);
             }
             continue;
           }
@@ -151,7 +157,7 @@ class InplaceRun {
   /// the array positions are about to be overwritten by the scatter).
   bool repair_input_slot(std::size_t i, cplx* buf) {
     if (!opts_.memory_ft) return false;
-    const cplx* w = opts_.combined_checksums ? ck_.data() : nullptr;
+    const cplx* w = opts_.combined_checksums ? ck_ : nullptr;
     const DualSum stored{s1_[i], s2_[i]};
     // Combined checksums carry the large (rA) weights: computational-scale
     // threshold. Classic ones use the summation-scale memory threshold.
@@ -188,8 +194,9 @@ class InplaceRun {
       if (opts_.memory_ft) {
         const double eta = opts_.eta_override > 0.0
                                ? opts_.eta_override
-                               : roundoff::practical_eta_memory(
-                                     blk_, sigma_of(e_blk_[b], blk_));
+                               : roundoff::eta_from_coeff(
+                                     plan_.eta_block().mem,
+                                     sigma_of(e_blk_[b], blk_));
         const auto rep = checksum::repair_single_error(
             b1_[b], block, 1, nullptr, blk_, eta, opts_.max_retries);
         ++stats_.verifications;
@@ -212,7 +219,7 @@ class InplaceRun {
       // Layer 3: r contiguous k-point sub-FFTs within the staged block.
       for (std::size_t t = 0; t < r_; ++t) {
         cplx* src = bb.data() + t * k_;
-        const auto se = checksum::weighted_sum_energy(ck_.data(), src, k_);
+        const auto se = checksum::weighted_sum_energy(ck_, src, k_);
         const std::size_t unit = b * r_ + t;
         const double eta = eta_comp(se.energy);
         stats_.eta_k = std::max(stats_.eta_k, eta);
@@ -311,8 +318,9 @@ class InplaceRun {
       ++stats_.verifications;
       const double eta = opts_.eta_override > 0.0
                              ? opts_.eta_override
-                             : roundoff::practical_eta_memory(
-                                   n_, sigma_of(checksum::energy(x_, n_), n_));
+                             : roundoff::eta_from_coeff(
+                                   plan_.eta_whole().mem,
+                                   sigma_of(checksum::energy(x_, n_), n_));
       if (std::abs(postsum - presum) > eta) {
         throw UncorrectableError(
             "inplace ABFT: memory fault during the final permutation "
@@ -324,11 +332,12 @@ class InplaceRun {
   fault::Injector* inj() const { return opts_.injector; }
 
   cplx* x_;
-  std::size_t n_, k_ = 0, r_ = 0, blk_ = 0;
+  const ProtectionPlan& plan_;
+  std::size_t n_, k_, r_, blk_;
+  const cplx* ck_;                // outer checksum vector, owned by the plan
   const Options& opts_;
   Stats& stats_;
 
-  std::vector<cplx> ck_;
   std::vector<cplx> s1_, s2_;     // CMCG slots (layer-1 inputs)
   std::vector<double> e_in_;
   std::vector<DualSum> b1_;       // per-block checksums (intermediate window)
@@ -367,11 +376,20 @@ void krk_digit_reverse_permute(cplx* data, std::size_t k, std::size_t r) {
   }
 }
 
+void inplace_online_transform(cplx* data, const ProtectionPlan& plan,
+                              const Options& opts, Stats& stats) {
+  detail::require(plan.scheme() == Scheme::kOnlineInplace,
+                  "inplace_online_transform: plan was built for another "
+                  "scheme");
+  InplaceRun run(data, plan, opts, stats);
+  run.run();
+}
+
 void inplace_online_transform(cplx* data, std::size_t n, const Options& opts,
                               Stats& stats) {
   detail::require(n >= 4, "inplace_online_transform: n must be >= 4");
-  InplaceRun run(data, n, opts, stats);
-  run.run();
+  const auto plan = ProtectionPlan::get(n, Scheme::kOnlineInplace, opts);
+  inplace_online_transform(data, *plan, opts, stats);
 }
 
 }  // namespace ftfft::abft

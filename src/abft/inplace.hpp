@@ -51,4 +51,10 @@ void krk_digit_reverse_permute(cplx* data, std::size_t k, std::size_t r);
 void inplace_online_transform(cplx* data, std::size_t n, const Options& opts,
                               Stats& stats);
 
+class ProtectionPlan;
+
+/// Same transform against a pre-resolved plan (Scheme::kOnlineInplace).
+void inplace_online_transform(cplx* data, const ProtectionPlan& plan,
+                              const Options& opts, Stats& stats);
+
 }  // namespace ftfft::abft

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "abft/protection_plan.hpp"
 #include "checksum/dot.hpp"
 #include "checksum/memory_checksum.hpp"
 #include "checksum/weights.hpp"
@@ -15,15 +16,19 @@ namespace ftfft::abft {
 using checksum::DualSum;
 using fault::Phase;
 
-void offline_transform(cplx* in, cplx* out, std::size_t n,
+void offline_transform(cplx* in, cplx* out, const ProtectionPlan& plan,
                        const Options& opts, Stats& stats) {
-  detail::require(n >= 1, "offline_transform: n must be >= 1");
+  detail::require(plan.scheme() == Scheme::kOffline,
+                  "offline_transform: plan was built for another scheme");
+  const std::size_t n = plan.n();
   fault::Injector* inj = opts.injector;
 
   if (inj != nullptr) inj->apply(Phase::kInputBeforeChecksum, 0, in, n);
 
   // --- Checksum generation ---------------------------------------------
-  const std::vector<cplx> ra = checksum::input_checksum_vector(n, opts.ra_method);
+  // The (rA) vector and the threshold coefficients live in the shared
+  // plan; only the input-dependent sums are computed per call.
+  const cplx* ra = plan.weights_m();
 
   cplx ccg;          // (rA) x — the computational reference value
   DualSum mem_ref;   // stored memory checksums (memory_ft only)
@@ -33,33 +38,35 @@ void offline_transform(cplx* in, cplx* out, std::size_t n,
     if (opts.combined_checksums) {
       // Section 4.1: r1' = rA, r2'_j = j (rA)_j; the plain component doubles
       // as the CCG product.
-      const auto d = checksum::dual_weighted_sum_energy(ra.data(), in, n);
+      const auto d = checksum::dual_weighted_sum_energy(ra, in, n);
       mem_ref = d.sums;
       ccg = d.sums.plain;
       energy = d.energy;
-      mem_weights = ra.data();
+      mem_weights = ra;
     } else {
       // Classic r1 = ones, r2 = index, plus a separate CCG pass — the 14N
       // generation cost the combined scheme reduces to 10N.
       const auto d = checksum::dual_weighted_sum_energy(nullptr, in, n);
       mem_ref = d.sums;
       energy = d.energy;
-      ccg = checksum::weighted_sum(ra.data(), in, n);
+      ccg = checksum::weighted_sum(ra, in, n);
     }
   } else {
-    const auto s = checksum::weighted_sum_energy(ra.data(), in, n);
+    const auto s = checksum::weighted_sum_energy(ra, in, n);
     ccg = s.sum;
     energy = s.energy;
   }
 
   const double sigma0 =
       std::sqrt(energy / (2.0 * static_cast<double>(n)) + 1e-300);
-  const double eta = opts.eta_override > 0.0
-                         ? opts.eta_override
-                         : roundoff::practical_eta(n, sigma0);
-  const double eta_mem = opts.eta_override > 0.0
-                             ? opts.eta_override
-                             : roundoff::practical_eta_memory(n, sigma0);
+  const double eta =
+      opts.eta_override > 0.0
+          ? opts.eta_override
+          : roundoff::eta_from_coeff(plan.eta_whole().comp, sigma0);
+  const double eta_mem =
+      opts.eta_override > 0.0
+          ? opts.eta_override
+          : roundoff::eta_from_coeff(plan.eta_whole().mem, sigma0);
   stats.eta_m = eta;
   stats.eta_mem = eta_mem;
 
@@ -109,6 +116,13 @@ void offline_transform(cplx* in, cplx* out, std::size_t n,
     // Offline recovery is always a full re-execution of the transform.
     ++stats.full_restarts;
   }
+}
+
+void offline_transform(cplx* in, cplx* out, std::size_t n,
+                       const Options& opts, Stats& stats) {
+  detail::require(n >= 1, "offline_transform: n must be >= 1");
+  const auto plan = ProtectionPlan::get(n, Scheme::kOffline, opts);
+  offline_transform(in, out, *plan, opts, stats);
 }
 
 }  // namespace ftfft::abft

@@ -14,12 +14,18 @@
 
 namespace ftfft::abft {
 
+class ProtectionPlan;
+
 /// Protected out-of-place forward DFT under Mode::kOffline semantics.
 /// `in` is non-const because memory-fault correction repairs the caller's
 /// array in place (and the fault injector corrupts it); fault-free runs
 /// leave it unmodified. Throws UncorrectableError when verification keeps
 /// failing beyond opts.max_retries (single-fault model violated).
 void offline_transform(cplx* in, cplx* out, std::size_t n,
+                       const Options& opts, Stats& stats);
+
+/// Same transform against a pre-resolved plan (Scheme::kOffline).
+void offline_transform(cplx* in, cplx* out, const ProtectionPlan& plan,
                        const Options& opts, Stats& stats);
 
 }  // namespace ftfft::abft

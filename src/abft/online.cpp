@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "abft/dmr.hpp"
+#include "abft/protection_plan.hpp"
 #include "checksum/dot.hpp"
 #include "checksum/memory_checksum.hpp"
 #include "checksum/weights.hpp"
@@ -20,23 +21,28 @@ namespace {
 using checksum::DualSum;
 using fault::Phase;
 
-// Staging block target in complex elements (~512 KiB): phase-3 columns are
-// staged through it so the strided intermediate is read once, row-wise.
-constexpr std::size_t kStageElems = 32768;
-
 double sigma_from_energy(double energy, std::size_t n) {
   return std::sqrt(energy / (2.0 * static_cast<double>(n)) + 1e-300);
 }
 
-/// All state of one protected online transform run.
+/// All state of one protected online transform run. The immutable
+/// per-size setup (split, checksum vectors, threshold coefficients,
+/// staging layout) comes from the shared ProtectionPlan; this class holds
+/// only the per-call mutable state.
 class OnlineRun {
  public:
-  OnlineRun(cplx* in, cplx* out, std::size_t n, const Options& opts,
-            Stats& stats)
-      : x_(in), out_(out), n_(n), opts_(opts), stats_(stats) {
-    const auto split = balanced_split(n);
-    m_ = split.first;
-    k_ = split.second;
+  OnlineRun(cplx* in, cplx* out, const ProtectionPlan& plan,
+            const Options& opts, Stats& stats)
+      : x_(in),
+        out_(out),
+        plan_(plan),
+        n_(plan.n()),
+        m_(plan.m()),
+        k_(plan.k()),
+        cm_(plan.weights_m()),
+        ck_(plan.weights_k()),
+        opts_(opts),
+        stats_(stats) {
     // Postponing the first-layer MCV into the CCV is only sound when the
     // memory checksum *is* the computational one (section 4.1 + 4.2).
     postpone1_ = opts_.postpone_mcv && opts_.combined_checksums;
@@ -53,8 +59,6 @@ class OnlineRun {
  private:
   // ---------------------------------------------------------------- setup
   void setup() {
-    cm_ = checksum::input_checksum_vector_dmr(m_, opts_.ra_method);
-    ck_ = checksum::input_checksum_vector_dmr(k_, opts_.ra_method);
     if (inj() != nullptr) inj()->apply(Phase::kInputBeforeChecksum, 0, x_, n_);
 
     e_in_.assign(k_, 0.0);
@@ -92,11 +96,9 @@ class OnlineRun {
     // Section 4.4 staging: gather a batch of sub-FFT inputs with a tiled
     // transpose — the input is read row-wise (contiguous runs of `batch`),
     // and the batch keeps only `batch` destination cache lines live — then
-    // every checksum/FFT pass runs over contiguous buffers.
-    const std::size_t batch =
-        opts_.contiguous_buffering
-            ? std::clamp<std::size_t>(kStageElems / m_, 4, k_)
-            : 1;
+    // every checksum/FFT pass runs over contiguous buffers. The width was
+    // resolved once at plan build (1 = unbuffered).
+    const std::size_t batch = plan_.layer1_batch();
     std::vector<cplx> bufblock(opts_.contiguous_buffering ? batch * m_ : 0);
 
     for (std::size_t i0 = 0; i0 < k_; i0 += batch) {
@@ -131,21 +133,22 @@ class OnlineRun {
       // Section 4.1: the stored combined checksum IS the CCG product.
       ccg = s1_[i];
     } else if (buf != nullptr) {
-      const auto se = checksum::weighted_sum_energy(cm_.data(), buf, m_);
+      const auto se = checksum::weighted_sum_energy(cm_, buf, m_);
       ccg = se.sum;
       if (!have_cmcg) e_in_[i] = se.energy;
     } else {
       // Strided CCG straight off the input: the expensive second strided
       // read the buffering optimization removes.
-      const auto se = checksum::weighted_sum_energy(cm_.data(), x_ + i, m_, k_);
+      const auto se = checksum::weighted_sum_energy(cm_, x_ + i, m_, k_);
       ccg = se.sum;
       if (!have_cmcg) e_in_[i] = se.energy;
     }
 
     const double sigma_i = sigma_from_energy(e_in_[i], m_);
-    const double eta = opts_.eta_override > 0.0
-                           ? opts_.eta_override
-                           : roundoff::practical_eta(m_, sigma_i);
+    const double eta =
+        opts_.eta_override > 0.0
+            ? opts_.eta_override
+            : roundoff::eta_from_coeff(plan_.eta_m().comp, sigma_i);
     stats_.eta_m = std::max(stats_.eta_m, eta);
 
     cplx* yi = out_ + i * m_;
@@ -172,9 +175,8 @@ class OnlineRun {
           if (!opts_.combined_checksums) {
             // Classic checksums: the CCG product must be rebuilt from the
             // repaired input.
-            ccg = buf != nullptr
-                      ? checksum::weighted_sum(cm_.data(), buf, m_)
-                      : checksum::weighted_sum(cm_.data(), x_ + i, m_, k_);
+            ccg = buf != nullptr ? checksum::weighted_sum(cm_, buf, m_)
+                                 : checksum::weighted_sum(cm_, x_ + i, m_, k_);
           }
           continue;
         }
@@ -211,15 +213,15 @@ class OnlineRun {
   /// the residual clears the threshold). Returns true if a corruption was
   /// found and fixed.
   bool verify_and_repair_input(std::size_t i) {
-    const cplx* weights =
-        opts_.combined_checksums ? cm_.data() : nullptr;
+    const cplx* weights = opts_.combined_checksums ? cm_ : nullptr;
     const double sigma_i = sigma_from_energy(e_in_[i], m_);
     const double eta_mem =
         opts_.eta_override > 0.0
             ? opts_.eta_override
-            : (opts_.combined_checksums
-                   ? roundoff::practical_eta(m_, sigma_i)
-                   : roundoff::practical_eta_memory(m_, sigma_i));
+            : roundoff::eta_from_coeff(opts_.combined_checksums
+                                           ? plan_.eta_m().comp
+                                           : plan_.eta_m().mem,
+                                       sigma_i);
     stats_.eta_mem = std::max(stats_.eta_mem, eta_mem);
     const DualSum stored{s1_[i], s2_[i]};
     const auto rep = checksum::repair_single_error(
@@ -256,7 +258,7 @@ class OnlineRun {
         const double eta_mem =
             opts_.eta_override > 0.0
                 ? opts_.eta_override
-                : roundoff::practical_eta_memory(m_, sigma);
+                : roundoff::eta_from_coeff(plan_.eta_m().mem, sigma);
         const auto rep = checksum::repair_single_error(
             r1_[i], yi, 1, nullptr, m_, eta_mem, opts_.max_retries);
         ++stats_.verifications;
@@ -303,14 +305,7 @@ class OnlineRun {
     // paper's "s k-FFTs"): the strided intermediate is loaded row-wise into
     // a column-major block, every per-column pass then runs contiguous, and
     // the verified results are written back row-wise in one batched pass.
-    const std::size_t s =
-        opts_.contiguous_buffering
-            ? std::clamp<std::size_t>(
-                  opts_.batch_columns != 0
-                      ? opts_.batch_columns
-                      : kStageElems / std::max<std::size_t>(k_, 1),
-                  1, m_)
-            : 1;
+    const std::size_t s = plan_.layer2_cols();
     std::vector<cplx> stage(opts_.contiguous_buffering ? s * k_ : 0);
     std::vector<cplx> ostage(opts_.contiguous_buffering ? s * k_ : 0);
 
@@ -360,7 +355,7 @@ class OnlineRun {
       const double eta_mem =
           opts_.eta_override > 0.0
               ? opts_.eta_override
-              : roundoff::practical_eta_memory(k_, sigma_col);
+              : roundoff::eta_from_coeff(plan_.eta_k().mem, sigma_col);
       stats_.eta_mem = std::max(stats_.eta_mem, eta_mem);
       const DualSum stored{o1_[c], o2_[c]};
       ++stats_.verifications;
@@ -387,12 +382,13 @@ class OnlineRun {
     // Twiddle (DMR) + CCG. tw[i] = col[i] * omega_n^(i*c).
     stats_.dmr_mismatches +=
         dmr_twiddle_multiply(col, stride, tw, k_, n_, c, c, inj());
-    const auto se = checksum::weighted_sum_energy(ck_.data(), tw, k_);
+    const auto se = checksum::weighted_sum_energy(ck_, tw, k_);
     const cplx ccg = se.sum;
     if (!opts_.memory_ft) sigma_col = sigma_from_energy(se.energy, k_);
-    const double eta = opts_.eta_override > 0.0
-                           ? opts_.eta_override
-                           : roundoff::practical_eta(k_, sigma_col);
+    const double eta =
+        opts_.eta_override > 0.0
+            ? opts_.eta_override
+            : roundoff::eta_from_coeff(plan_.eta_k().comp, sigma_col);
     stats_.eta_k = std::max(stats_.eta_k, eta);
 
     for (int attempt = 0;; ++attempt) {
@@ -438,9 +434,10 @@ class OnlineRun {
     for (std::size_t c = 0; c < m_; ++c) {
       const cplx rx = b0[c] + cmul(w1, b1[c]) + cmul(w2, b2[c]);
       const double sigma = sigma_from_energy(e_mid_[c], k_);
-      const double eta = opts_.eta_override > 0.0
-                             ? opts_.eta_override
-                             : roundoff::practical_eta(k_, sigma);
+      const double eta =
+          opts_.eta_override > 0.0
+              ? opts_.eta_override
+              : roundoff::eta_from_coeff(plan_.eta_k().comp, sigma);
       ++stats_.verifications;
       if (std::abs(rx - col_ccv_[c]) <= eta) continue;
       ++stats_.mem_errors_detected;
@@ -451,7 +448,7 @@ class OnlineRun {
             f1_[c], out_ + c, m_, nullptr, k_,
             opts_.eta_override > 0.0
                 ? opts_.eta_override
-                : roundoff::practical_eta_memory(k_, sigma),
+                : roundoff::eta_from_coeff(plan_.eta_k().mem, sigma),
             opts_.max_retries);
         if (!rep.corrected) {
           throw UncorrectableError(
@@ -467,7 +464,7 @@ class OnlineRun {
       stats_.dmr_mismatches +=
           dmr_twiddle_multiply(colbuf.data(), 1, tw.data(), k_, n_, c, c,
                                nullptr);
-      const cplx ccg = checksum::weighted_sum(ck_.data(), tw.data(), k_);
+      const cplx ccg = checksum::weighted_sum(ck_, tw.data(), k_);
       fftk.execute(tw.data(), res.data());
       const cplx rx2 = checksum::omega3_weighted_sum(res.data(), k_);
       if (std::abs(rx2 - ccg) > eta) {
@@ -484,12 +481,14 @@ class OnlineRun {
 
   cplx* x_;
   cplx* out_;
-  std::size_t n_, m_ = 0, k_ = 0;
+  const ProtectionPlan& plan_;
+  std::size_t n_, m_, k_;
+  const cplx* cm_;                   // input checksum vectors (sizes m, k),
+  const cplx* ck_;                   //   owned by the shared plan
   const Options& opts_;
   Stats& stats_;
   bool postpone1_ = false;
 
-  std::vector<cplx> cm_, ck_;        // input checksum vectors (sizes m, k)
   std::vector<cplx> s1_, s2_;        // CMCG slots per first-layer sub-FFT
   std::vector<double> e_in_;         // per-sub-FFT input energy
   std::vector<DualSum> r1_;          // naive row checksums of Y_i
@@ -503,11 +502,19 @@ class OnlineRun {
 
 }  // namespace
 
+void online_transform(cplx* in, cplx* out, const ProtectionPlan& plan,
+                      const Options& opts, Stats& stats) {
+  detail::require(plan.scheme() == Scheme::kOnline,
+                  "online_transform: plan was built for another scheme");
+  OnlineRun run(in, out, plan, opts, stats);
+  run.run();
+}
+
 void online_transform(cplx* in, cplx* out, std::size_t n, const Options& opts,
                       Stats& stats) {
   detail::require(n >= 4, "online_transform: n must be >= 4 and composite");
-  OnlineRun run(in, out, n, opts, stats);
-  run.run();
+  const auto plan = ProtectionPlan::get(n, Scheme::kOnline, opts);
+  online_transform(in, out, *plan, opts, stats);
 }
 
 }  // namespace ftfft::abft

@@ -22,6 +22,8 @@
 
 namespace ftfft::abft {
 
+class ProtectionPlan;
+
 /// Protected out-of-place forward DFT under Mode::kOnline semantics.
 ///
 /// Requirements: n composite with a split n = m*k, m,k >= 2, and neither
@@ -34,5 +36,11 @@ namespace ftfft::abft {
 /// violated beyond repair.
 void online_transform(cplx* in, cplx* out, std::size_t n, const Options& opts,
                       Stats& stats);
+
+/// Same transform against a pre-resolved plan (Scheme::kOnline). This is
+/// the batch hot path: the engine resolves the plan once and every lane
+/// skips the per-call setup entirely.
+void online_transform(cplx* in, cplx* out, const ProtectionPlan& plan,
+                      const Options& opts, Stats& stats);
 
 }  // namespace ftfft::abft

@@ -3,13 +3,28 @@
 #include "abft/inplace.hpp"
 #include "abft/offline.hpp"
 #include "abft/online.hpp"
+#include "abft/protection_plan.hpp"
+#include "common/error.hpp"
 #include "engine/batch_engine.hpp"
 #include "fft/fft.hpp"
 
 namespace ftfft::abft {
+namespace {
+
+// A plan resolved for another size would make the run read plan.n()
+// elements out of n-sized buffers; refuse before any work starts.
+void require_plan_size(const ProtectionPlan* plan, std::size_t n) {
+  detail::require(plan == nullptr || plan->n() == n,
+                  "protected transform: ProtectionPlan was resolved for a "
+                  "different size");
+}
+
+}  // namespace
 
 void protected_transform(cplx* in, cplx* out, std::size_t n,
-                         const Options& opts, Stats& stats) {
+                         const Options& opts, Stats& stats,
+                         const ProtectionPlan* plan) {
+  require_plan_size(plan, n);
   switch (opts.mode) {
     case Mode::kNone: {
       fft::Fft engine(n);
@@ -17,16 +32,26 @@ void protected_transform(cplx* in, cplx* out, std::size_t n,
       return;
     }
     case Mode::kOffline:
-      offline_transform(in, out, n, opts, stats);
+      if (plan != nullptr) {
+        offline_transform(in, out, *plan, opts, stats);
+      } else {
+        offline_transform(in, out, n, opts, stats);
+      }
       return;
     case Mode::kOnline:
-      online_transform(in, out, n, opts, stats);
+      if (plan != nullptr) {
+        online_transform(in, out, *plan, opts, stats);
+      } else {
+        online_transform(in, out, n, opts, stats);
+      }
       return;
   }
 }
 
 void protected_transform_inplace(cplx* data, std::size_t n,
-                                 const Options& opts, Stats& stats) {
+                                 const Options& opts, Stats& stats,
+                                 const ProtectionPlan* plan) {
+  require_plan_size(plan, n);
   switch (opts.mode) {
     case Mode::kNone: {
       fft::Fft engine(n);
@@ -38,11 +63,15 @@ void protected_transform_inplace(cplx* data, std::size_t n,
       // input is gone); stage through a copy so the checksummed transform
       // still sees an intact input while writing over `data`.
       std::vector<cplx> copy(data, data + n);
-      protected_transform(copy.data(), data, n, opts, stats);
+      protected_transform(copy.data(), data, n, opts, stats, plan);
       return;
     }
     case Mode::kOnline:
-      inplace_online_transform(data, n, opts, stats);
+      if (plan != nullptr) {
+        inplace_online_transform(data, *plan, opts, stats);
+      } else {
+        inplace_online_transform(data, n, opts, stats);
+      }
       return;
   }
 }

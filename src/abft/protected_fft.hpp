@@ -13,19 +13,29 @@
 
 namespace ftfft::abft {
 
+class ProtectionPlan;
+
 /// Out-of-place forward DFT with the protection selected in `opts`.
 /// See offline.hpp / online.hpp for the per-mode contracts. `in` may be
 /// modified by fault correction (and by the backup_in_input option).
+///
+/// `plan` is an optional pre-resolved ProtectionPlan for (n, opts) — the
+/// batch engine and FtPlan pass one so repeated transforms skip the cache
+/// lookup entirely; nullptr resolves through the process-wide cache.
 void protected_transform(cplx* in, cplx* out, std::size_t n,
-                         const Options& opts, Stats& stats);
+                         const Options& opts, Stats& stats,
+                         const ProtectionPlan* plan = nullptr);
 
 /// In-place forward DFT with the protection selected in `opts`: the k*r*k
 /// scheme (section 5) for kOnline, staging through an internal copy for
 /// kOffline (whose restart needs an intact input), plain in-place FFT for
 /// kNone. Natural-order output. Shared by FtPlan::forward_inplace and the
-/// batch engine so the mode dispatch lives in exactly one place.
+/// batch engine so the mode dispatch lives in exactly one place. For
+/// kOffline, `plan` must be a Scheme::kOffline plan (see
+/// resolve_protection_plan with inplace = true).
 void protected_transform_inplace(cplx* data, std::size_t n,
-                                 const Options& opts, Stats& stats);
+                                 const Options& opts, Stats& stats,
+                                 const ProtectionPlan* plan = nullptr);
 
 /// Convenience overload: allocates the output, default stats sink.
 std::vector<cplx> protected_fft(std::vector<cplx> input, const Options& opts);

@@ -1,0 +1,143 @@
+#include "abft/protection_plan.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "abft/inplace.hpp"
+#include "common/env.hpp"
+#include "common/math_util.hpp"
+#include "common/plan_registry.hpp"
+#include "roundoff/model.hpp"
+
+namespace ftfft::abft {
+namespace {
+
+// Staging block target in complex elements (~512 KiB): the online scheme's
+// section-4.4 buffering stages strided sub-FFT inputs / intermediate columns
+// through blocks of this footprint.
+constexpr std::size_t kStageElems = 32768;
+
+std::atomic<std::uint64_t> plan_builds{0};
+
+struct PlanKey {
+  std::size_t n;
+  Scheme scheme;
+  checksum::RaGenMethod ra_method;
+  bool contiguous_buffering;
+  std::size_t batch_columns;
+  bool operator==(const PlanKey&) const = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& key) const noexcept {
+    std::size_t h = key.n;
+    h = h * 31 + static_cast<std::size_t>(key.scheme);
+    h = h * 31 + static_cast<std::size_t>(key.ra_method);
+    h = h * 31 + static_cast<std::size_t>(key.contiguous_buffering);
+    h = h * 31 + key.batch_columns;
+    return h;
+  }
+};
+
+PlanRegistry<PlanKey, ProtectionPlan, PlanKeyHash>& registry() {
+  static PlanRegistry<PlanKey, ProtectionPlan, PlanKeyHash> instance(
+      plan_cache_capacity());
+  return instance;
+}
+
+EtaCoeffs eta_coeffs(std::size_t n) {
+  return {roundoff::practical_eta_coeff(n),
+          roundoff::practical_eta_memory_coeff(n)};
+}
+
+}  // namespace
+
+ProtectionPlan::ProtectionPlan(std::size_t n, Scheme scheme,
+                               const Options& opts)
+    : n_(n), scheme_(scheme) {
+  plan_builds.fetch_add(1, std::memory_order_relaxed);
+  switch (scheme) {
+    case Scheme::kOffline: {
+      wm_ = checksum::shared_input_checksum_vector(n, opts.ra_method);
+      eta_m_ = eta_coeffs(n);
+      eta_whole_ = eta_m_;
+      break;
+    }
+    case Scheme::kOnline: {
+      const auto split = balanced_split(n);
+      m_ = split.first;
+      k_ = split.second;
+      wm_ = checksum::shared_input_checksum_vector(m_, opts.ra_method);
+      wk_ = checksum::shared_input_checksum_vector(k_, opts.ra_method);
+      eta_m_ = eta_coeffs(m_);
+      eta_k_ = eta_coeffs(k_);
+      if (opts.contiguous_buffering) {
+        layer1_batch_ = std::clamp<std::size_t>(
+            kStageElems / m_, std::min<std::size_t>(4, k_), k_);
+        layer2_cols_ = std::clamp<std::size_t>(
+            opts.batch_columns != 0
+                ? opts.batch_columns
+                : kStageElems / std::max<std::size_t>(k_, 1),
+            1, m_);
+      }
+      break;
+    }
+    case Scheme::kOnlineInplace: {
+      const InplaceShape shape = inplace_shape(n);
+      k_ = shape.k;
+      r_ = shape.r;
+      blk_ = r_ * k_;
+      wk_ = checksum::shared_input_checksum_vector(k_, opts.ra_method);
+      eta_k_ = eta_coeffs(k_);
+      eta_block_ = eta_coeffs(blk_);
+      eta_whole_ = eta_coeffs(n);
+      break;
+    }
+  }
+}
+
+std::shared_ptr<const ProtectionPlan> ProtectionPlan::get(std::size_t n,
+                                                          Scheme scheme,
+                                                          const Options& opts) {
+  // The staging-layout fields only shape kOnline plans (and batch_columns
+  // only buffered ones); normalize the irrelevant combinations out of the
+  // key so option sweeps don't dilute the LRU with identical entries.
+  const bool buffered = scheme == Scheme::kOnline && opts.contiguous_buffering;
+  const PlanKey key{n, scheme, opts.ra_method, buffered,
+                    buffered ? opts.batch_columns : 0};
+  return registry().get_or_build(key, [&] {
+    return std::make_shared<const ProtectionPlan>(n, scheme, opts);
+  });
+}
+
+std::uint64_t ProtectionPlan::build_count() noexcept {
+  return plan_builds.load(std::memory_order_relaxed);
+}
+
+std::size_t ProtectionPlan::cache_size() { return registry().size(); }
+
+std::size_t ProtectionPlan::cache_capacity() {
+  return registry().capacity();
+}
+
+void ProtectionPlan::set_cache_capacity(std::size_t capacity) {
+  registry().set_capacity(capacity);
+}
+
+void ProtectionPlan::drop_cache() { registry().clear(); }
+
+std::shared_ptr<const ProtectionPlan> resolve_protection_plan(
+    std::size_t n, const Options& opts, bool inplace) {
+  switch (opts.mode) {
+    case Mode::kNone:
+      return nullptr;
+    case Mode::kOffline:
+      return ProtectionPlan::get(n, Scheme::kOffline, opts);
+    case Mode::kOnline:
+      return ProtectionPlan::get(
+          n, inplace ? Scheme::kOnlineInplace : Scheme::kOnline, opts);
+  }
+  return nullptr;  // unreachable; keeps GCC's -Wreturn-type quiet
+}
+
+}  // namespace ftfft::abft

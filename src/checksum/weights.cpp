@@ -1,9 +1,13 @@
 #include "checksum/weights.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
+#include "common/env.hpp"
 #include "common/math_util.hpp"
+#include "common/plan_registry.hpp"
 
 namespace ftfft::checksum {
 namespace {
@@ -11,6 +15,20 @@ namespace {
 // Resync the omega_n^t recurrence against libm every this many steps to keep
 // the accumulated drift below a few ulps regardless of n.
 constexpr std::size_t kResyncInterval = 512;
+
+std::atomic<std::uint64_t> ra_generation_count{0};
+
+struct RaKey {
+  std::size_t n;
+  RaGenMethod method;
+  bool operator==(const RaKey&) const = default;
+};
+
+struct RaKeyHash {
+  std::size_t operator()(const RaKey& k) const noexcept {
+    return k.n * 2 + static_cast<std::size_t>(k.method);
+  }
+};
 
 void check_size(std::size_t n) {
   if (n == 0) throw std::invalid_argument("checksum: n must be >= 1");
@@ -31,6 +49,7 @@ std::vector<cplx> comp_weights(std::size_t n) {
 
 std::vector<cplx> input_checksum_vector(std::size_t n, RaGenMethod method) {
   check_size(n);
+  ra_generation_count.fetch_add(1, std::memory_order_relaxed);
   const cplx num = cplx{1.0, 0.0} - omega3_pow(n);
   const cplx w3 = omega3();
   std::vector<cplx> ra(n);
@@ -79,6 +98,20 @@ std::vector<cplx> input_checksum_vector_dmr(std::size_t n, RaGenMethod method,
     }
   }
   return first;
+}
+
+std::shared_ptr<const std::vector<cplx>> shared_input_checksum_vector(
+    std::size_t n, RaGenMethod method) {
+  static PlanRegistry<RaKey, std::vector<cplx>, RaKeyHash> registry(
+      plan_cache_capacity());
+  return registry.get_or_build(RaKey{n, method}, [&] {
+    return std::make_shared<const std::vector<cplx>>(
+        input_checksum_vector_dmr(n, method));
+  });
+}
+
+std::uint64_t ra_generations() noexcept {
+  return ra_generation_count.load(std::memory_order_relaxed);
 }
 
 }  // namespace ftfft::checksum

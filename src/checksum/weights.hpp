@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/complex.hpp"
@@ -44,5 +46,18 @@ std::vector<cplx> input_checksum_vector(std::size_t n, RaGenMethod method);
 std::vector<cplx> input_checksum_vector_dmr(std::size_t n, RaGenMethod method,
                                             int faulty_copy = 0,
                                             std::size_t corrupt_index = 0);
+
+/// Process-wide cached (rA) vector, LRU-bounded through the shared
+/// PlanRegistry. The generation runs under DMR once per cache fill; the
+/// returned copy is immutable and shared between every plan and transform
+/// of the same (n, method). This is what turns rA generation from
+/// O(lanes * n) into O(n) per batch of identical-size lanes.
+std::shared_ptr<const std::vector<cplx>> shared_input_checksum_vector(
+    std::size_t n, RaGenMethod method);
+
+/// Number of raw (rA) generation passes performed process-wide (each DMR
+/// generation counts its redundant executions individually). Test and bench
+/// hook for verifying that batched lanes amortize generation.
+[[nodiscard]] std::uint64_t ra_generations() noexcept;
 
 }  // namespace ftfft::checksum

@@ -22,6 +22,14 @@ long env_long(const char* name, long fallback) {
   return v;
 }
 
+std::size_t plan_cache_capacity() {
+  // Generous default: a serving process juggling 64 distinct
+  // (size, options) combinations per cache is already unusual, and each
+  // entry is O(n) memory at most.
+  static const std::size_t cap = env_size("FTFFT_PLAN_CACHE_CAP", 64);
+  return cap;
+}
+
 long bench_scale_shift() { return env_long("FTFFT_BENCH_SCALE", 0); }
 
 std::size_t bench_runs_percent() {

@@ -1,4 +1,8 @@
-// Environment-variable knobs for the benchmark harnesses.
+// Environment-variable knobs for the library and benchmark harnesses.
+//
+// FTFFT_PLAN_CACHE_CAP bounds every process-wide plan cache (decomposition
+// trees, in-place plans, checksum weight vectors, ABFT ProtectionPlans) to
+// that many entries each, evicted least-recently-used; 0 removes the bound.
 //
 // The paper's experiments ran at N = 2^25..2^28 sequential and N = 2^31..2^34
 // on 128..1024 cores of Tianhe-2. This reproduction defaults to sizes that a
@@ -18,6 +22,10 @@ std::size_t env_size(const char* name, std::size_t fallback);
 
 /// Reads a (possibly negative) integer env var.
 long env_long(const char* name, long fallback);
+
+/// LRU capacity for each process-wide plan cache, from FTFFT_PLAN_CACHE_CAP
+/// (default generous; 0 = unbounded). Read once at first use.
+std::size_t plan_cache_capacity();
 
 /// log2 shift applied to benchmark problem sizes (default 0).
 long bench_scale_shift();

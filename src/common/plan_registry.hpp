@@ -1,0 +1,124 @@
+// Shared LRU-bounded cache for immutable, expensive-to-build plan objects.
+//
+// Four process-wide caches used to grow monotonically: the mixed-radix plan
+// tree (fft::make_plan), the iterative in-place plan
+// (fft::InplaceRadix2Plan::get), the checksum weight vectors, and the ABFT
+// ProtectionPlan. A long-lived server transforming many distinct sizes would
+// pin all of them forever. PlanRegistry gives every one of those caches the
+// same contract: thread-safe get-or-build, least-recently-used eviction
+// beyond a configurable capacity (FTFFT_PLAN_CACHE_CAP by default, see
+// common/env.hpp), and hit/miss/eviction counters for tests and monitoring.
+//
+// Values are handed out as shared_ptr<const V>: eviction only drops the
+// registry's reference, so a plan still executing somewhere stays alive
+// until its last user releases it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace ftfft {
+
+/// Thread-safe LRU map from Key to shared immutable Value.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class PlanRegistry {
+ public:
+  /// capacity 0 = unbounded (the pre-eviction behavior).
+  explicit PlanRegistry(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached value for `key`, building it via `build()` on a
+  /// miss. `build` must return std::shared_ptr<const Value> and runs
+  /// *outside* the registry lock (plan construction can be slow); two
+  /// threads missing the same key concurrently may both build, in which
+  /// case the first insertion wins and the loser's copy is discarded —
+  /// sound because plans are immutable.
+  template <typename Builder>
+  std::shared_ptr<const Value> get_or_build(const Key& key, Builder&& build) {
+    {
+      std::scoped_lock lock(mu_);
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++hits_;
+        return it->second->second;
+      }
+      ++misses_;
+    }
+    std::shared_ptr<const Value> built = build();
+    std::scoped_lock lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    lru_.emplace_front(key, built);
+    map_.emplace(key, lru_.begin());
+    evict_locked();
+    return built;
+  }
+
+  void set_capacity(std::size_t capacity) {
+    std::scoped_lock lock(mu_);
+    capacity_ = capacity;
+    evict_locked();
+  }
+
+  [[nodiscard]] std::size_t capacity() const {
+    std::scoped_lock lock(mu_);
+    return capacity_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return lru_.size();
+  }
+
+  [[nodiscard]] std::uint64_t hits() const {
+    std::scoped_lock lock(mu_);
+    return hits_;
+  }
+
+  [[nodiscard]] std::uint64_t misses() const {
+    std::scoped_lock lock(mu_);
+    return misses_;
+  }
+
+  [[nodiscard]] std::uint64_t evictions() const {
+    std::scoped_lock lock(mu_);
+    return evictions_;
+  }
+
+  void clear() {
+    std::scoped_lock lock(mu_);
+    lru_.clear();
+    map_.clear();
+  }
+
+ private:
+  using Entry = std::pair<Key, std::shared_ptr<const Value>>;
+
+  void evict_locked() {
+    if (capacity_ == 0) return;
+    while (lru_.size() > capacity_) {
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace ftfft

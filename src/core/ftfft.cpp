@@ -1,5 +1,6 @@
 #include "core/ftfft.hpp"
 
+#include "abft/protection_plan.hpp"
 #include "common/error.hpp"
 
 namespace ftfft {
@@ -42,9 +43,18 @@ abft::Options FtPlan::abft_options() const {
   return make_abft_options(config_);
 }
 
+const abft::ProtectionPlan* FtPlan::protection_plan(bool inplace) {
+  auto& slot = inplace ? plan_inplace_ : plan_;
+  if (slot == nullptr) {
+    slot = abft::resolve_protection_plan(n_, abft_options(), inplace);
+  }
+  return slot.get();
+}
+
 void FtPlan::forward(cplx* in, cplx* out) {
   stats_.reset();
-  abft::protected_transform(in, out, n_, abft_options(), stats_);
+  abft::protected_transform(in, out, n_, abft_options(), stats_,
+                            protection_plan(false));
 }
 
 std::vector<cplx> FtPlan::forward(std::vector<cplx> input) {
@@ -56,7 +66,8 @@ std::vector<cplx> FtPlan::forward(std::vector<cplx> input) {
 
 void FtPlan::forward_inplace(cplx* data) {
   stats_.reset();
-  abft::protected_transform_inplace(data, n_, abft_options(), stats_);
+  abft::protected_transform_inplace(data, n_, abft_options(), stats_,
+                                    protection_plan(true));
 }
 
 void FtPlan::backward(cplx* in, cplx* out) {
@@ -64,7 +75,8 @@ void FtPlan::backward(cplx* in, cplx* out) {
   if (scratch_.size() < n_) scratch_.resize(n_);
   for (std::size_t t = 0; t < n_; ++t) scratch_[t] = std::conj(in[t]);
   stats_.reset();
-  abft::protected_transform(scratch_.data(), out, n_, abft_options(), stats_);
+  abft::protected_transform(scratch_.data(), out, n_, abft_options(), stats_,
+                            protection_plan(false));
   const double inv_n = 1.0 / static_cast<double>(n_);
   for (std::size_t t = 0; t < n_; ++t) out[t] = std::conj(out[t]) * inv_n;
 }

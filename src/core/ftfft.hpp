@@ -105,10 +105,17 @@ class FtPlan {
  private:
   [[nodiscard]] abft::Options abft_options() const;
 
+  /// Resolves (once) and returns the shared ProtectionPlan for this plan's
+  /// size and options; nullptr when protection is kNone. The plan is held
+  /// across calls so repeated transforms skip even the cache lookup.
+  const abft::ProtectionPlan* protection_plan(bool inplace);
+
   std::size_t n_;
   PlanConfig config_;
   abft::Stats stats_;
   std::vector<cplx> scratch_;
+  std::shared_ptr<const abft::ProtectionPlan> plan_;          // out-of-place
+  std::shared_ptr<const abft::ProtectionPlan> plan_inplace_;  // k*r*k
 };
 
 }  // namespace ftfft

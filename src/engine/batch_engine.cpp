@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "abft/protected_fft.hpp"
+#include "abft/protection_plan.hpp"
 #include "common/aligned_buffer.hpp"
 #include "common/error.hpp"
 
@@ -44,13 +45,46 @@ std::size_t pick_chunk(std::size_t lanes, std::size_t threads,
 }  // namespace
 
 struct BatchEngine::Impl {
+  // Capacity/peak ratio beyond which an arena counts as oversized, and how
+  // many consecutive oversized batches it takes before the excess is
+  // released. The patience keeps alternating big/small workloads from
+  // reallocating every batch.
+  static constexpr std::size_t kTrimFactor = 4;
+  static constexpr int kTrimPatience = 2;
+
   // Per-worker staging storage, reused across lanes and batches.
   struct Arena {
     AlignedBuffer<cplx> staging;
+    std::size_t batch_peak = 0;  // largest request in the current batch
+    int oversized_batches = 0;   // consecutive batches far below capacity
 
     cplx* ensure(std::size_t n) {
-      if (staging.size() < n) staging = AlignedBuffer<cplx>(n);
+      batch_peak = std::max(batch_peak, n);
+      if (staging.size() < n) {
+        staging = AlignedBuffer<cplx>(n);
+        oversized_batches = 0;
+      }
       return staging.data();
+    }
+
+    // High-water trim: a one-off huge batch should not pin its staging
+    // forever. After kTrimPatience consecutive batches whose peak demand
+    // stayed kTrimFactor below the arena's capacity, shrink to that peak.
+    // Batches that never touched this arena are not evidence of shrinking
+    // demand (under-subscribed workloads rotate which workers win chunks);
+    // they leave the counter untouched so participation gaps don't cause
+    // free/realloc churn.
+    void end_batch() {
+      if (batch_peak == 0) return;
+      if (!staging.empty() && batch_peak * kTrimFactor <= staging.size()) {
+        if (++oversized_batches >= kTrimPatience) {
+          staging = AlignedBuffer<cplx>(batch_peak);
+          oversized_batches = 0;
+        }
+      } else {
+        oversized_batches = 0;
+      }
+      batch_peak = 0;
     }
   };
 
@@ -61,6 +95,14 @@ struct BatchEngine::Impl {
     std::size_t n = 0;
     const BatchOptions* opts = nullptr;
     BatchReport* report = nullptr;
+    // Protection plans resolved once per batch and shared by every lane
+    // (rA generation and threshold derivation drop from O(lanes * n) to
+    // O(n) per batch). Resolution failures are parked as exception_ptrs so
+    // they surface per lane, preserving the report's failure isolation.
+    const abft::ProtectionPlan* plan = nullptr;          // out-of-place lanes
+    const abft::ProtectionPlan* plan_inplace = nullptr;  // in-place lanes
+    std::exception_ptr plan_error;
+    std::exception_ptr plan_inplace_error;
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::size_t> remaining{0};
     std::atomic<std::size_t> workers_inside{0};
@@ -144,6 +186,11 @@ struct BatchEngine::Impl {
     abft::Options opts = job.opts->abft;
     if (lane.injector != nullptr) opts.injector = lane.injector;
     try {
+      const bool inplace = lane.out == nullptr;
+      if (inplace && job.plan_inplace_error) {
+        std::rethrow_exception(job.plan_inplace_error);
+      }
+      if (!inplace && job.plan_error) std::rethrow_exception(job.plan_error);
       cplx* in = lane.in;
       if (job.opts->preserve_inputs || lane.out == lane.in) {
         cplx* staged = arena.ensure(n);
@@ -151,11 +198,12 @@ struct BatchEngine::Impl {
         in = staged;
       }
       abft::Stats& stats = report.per_lane[index];
-      if (lane.out == nullptr) {
-        abft::protected_transform_inplace(in, n, opts, stats);
+      if (inplace) {
+        abft::protected_transform_inplace(in, n, opts, stats,
+                                          job.plan_inplace);
         if (in != lane.in) std::copy(in, in + n, lane.in);
       } else {
-        abft::protected_transform(in, lane.out, n, opts, stats);
+        abft::protected_transform(in, lane.out, n, opts, stats, job.plan);
       }
     } catch (const std::exception& e) {
       report.errors[index] = e.what();
@@ -193,6 +241,35 @@ struct BatchEngine::Impl {
     job.remaining.store(lanes.size(), std::memory_order_relaxed);
     job.chunk = pick_chunk(lanes.size(), num_threads_, opts.chunk);
 
+    // Resolve the ProtectionPlan(s) once for the whole batch — this is the
+    // batch-level checksum amortization: every lane shares the split, rA
+    // vectors and threshold coefficients instead of rebuilding them. The
+    // shared_ptrs pin the plans for the batch even if the LRU cache evicts
+    // them mid-flight. A resolution failure (unsupported size for the
+    // options) is reported per lane, matching the old per-lane throw.
+    bool need_oop = false;
+    bool need_inplace = false;
+    for (const Lane& lane : lanes) {
+      (lane.out == nullptr ? need_inplace : need_oop) = true;
+    }
+    std::shared_ptr<const abft::ProtectionPlan> plan_oop, plan_inplace;
+    if (need_oop) {
+      try {
+        plan_oop = abft::resolve_protection_plan(n, opts.abft, false);
+        job.plan = plan_oop.get();
+      } catch (...) {
+        job.plan_error = std::current_exception();
+      }
+    }
+    if (need_inplace) {
+      try {
+        plan_inplace = abft::resolve_protection_plan(n, opts.abft, true);
+        job.plan_inplace = plan_inplace.get();
+      } catch (...) {
+        job.plan_inplace_error = std::current_exception();
+      }
+    }
+
     const bool parallel = num_threads_ > 1 && lanes.size() > 1;
     if (parallel) {
       spawn_workers();
@@ -214,6 +291,11 @@ struct BatchEngine::Impl {
       job_ = nullptr;
     }
 
+    // Workers are quiescent past the cv_done_ wait, so the arenas are safe
+    // to touch from the caller; give each a chance to release staging that
+    // this batch left far below its high-water mark.
+    for (Arena& arena : arenas_) arena.end_batch();
+
     for (std::size_t i = 0; i < report.lanes; ++i) {
       if (report.errors[i].empty()) {
         accumulate(report.totals, report.per_lane[i]);
@@ -222,6 +304,12 @@ struct BatchEngine::Impl {
       }
     }
     return report;
+  }
+
+  [[nodiscard]] std::size_t staging_capacity() const {
+    std::size_t total = 0;
+    for (const Arena& arena : arenas_) total += arena.staging.size();
+    return total;
   }
 
   const std::size_t num_threads_;
@@ -243,6 +331,10 @@ BatchEngine::~BatchEngine() = default;
 
 std::size_t BatchEngine::num_threads() const noexcept {
   return impl_->num_threads_;
+}
+
+std::size_t BatchEngine::staging_capacity() const {
+  return impl_->staging_capacity();
 }
 
 BatchReport BatchEngine::transform_batch(std::span<const Lane> lanes,

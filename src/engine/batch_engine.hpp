@@ -8,12 +8,15 @@
 // ones (a lane that needs fault-correction retries costs more than a clean
 // lane and the imbalance is absorbed without static partitioning).
 //
-// Shared, immutable state (decomposition plans, twiddle tables) comes for
-// free through the process-wide make_plan() / InplaceRadix2Plan::get()
-// caches; per-thread mutable state (staging copies of lane inputs) lives in
-// a per-worker aligned arena that grows once and is reused across lanes and
-// batches. Per-lane abft::Stats land in pre-sized slots, so workers never
-// contend on shared counters.
+// Shared, immutable state (decomposition plans, twiddle tables, and the
+// ABFT ProtectionPlan with its checksum vectors and threshold coefficients)
+// is resolved once per batch through the process-wide LRU-bounded plan
+// caches and handed to every lane by reference, so per-lane setup is O(1);
+// per-thread mutable state (staging copies of lane inputs) lives in a
+// per-worker aligned arena that grows to its batch high-water mark, is
+// reused across lanes and batches, and is trimmed back after consecutive
+// batches that stay far below that mark. Per-lane abft::Stats land in
+// pre-sized slots, so workers never contend on shared counters.
 //
 // A lane that throws (UncorrectableError when the fault model is exceeded)
 // is recorded in the report and does not disturb the other lanes.
@@ -93,6 +96,13 @@ class BatchEngine {
   BatchEngine& operator=(const BatchEngine&) = delete;
 
   [[nodiscard]] std::size_t num_threads() const noexcept;
+
+  /// Total staging currently held across the per-worker arenas, in complex
+  /// elements. Arenas grow to the largest lane staged through them and are
+  /// trimmed back after consecutive batches whose demand stayed far below
+  /// that high-water mark; exposed for tests and memory monitoring. Only
+  /// meaningful while no batch is in flight.
+  [[nodiscard]] std::size_t staging_capacity() const;
 
   /// Runs the protected n-point transform on every lane concurrently.
   /// Lane failures are reported, not thrown; misuse (n == 0, null lane

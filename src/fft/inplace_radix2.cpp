@@ -1,11 +1,11 @@
 #include "fft/inplace_radix2.hpp"
 
-#include <mutex>
 #include <stdexcept>
-#include <unordered_map>
 #include <utility>
 
+#include "common/env.hpp"
 #include "common/math_util.hpp"
+#include "common/plan_registry.hpp"
 
 namespace ftfft::fft {
 
@@ -133,16 +133,11 @@ void InplaceRadix2Plan::inverse(cplx* data) const {
 
 std::shared_ptr<const InplaceRadix2Plan> InplaceRadix2Plan::get(
     std::size_t n) {
-  static std::mutex mu;
-  static std::unordered_map<std::size_t,
-                            std::shared_ptr<const InplaceRadix2Plan>>
-      cache;
-  std::scoped_lock lock(mu);
-  auto it = cache.find(n);
-  if (it == cache.end()) {
-    it = cache.emplace(n, std::make_shared<InplaceRadix2Plan>(n)).first;
-  }
-  return it->second;
+  // LRU-bounded by FTFFT_PLAN_CACHE_CAP, like every other plan cache.
+  static PlanRegistry<std::size_t, InplaceRadix2Plan> registry(
+      plan_cache_capacity());
+  return registry.get_or_build(
+      n, [n] { return std::make_shared<const InplaceRadix2Plan>(n); });
 }
 
 }  // namespace ftfft::fft

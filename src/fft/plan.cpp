@@ -1,12 +1,12 @@
 #include "fft/plan.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_map>
 
+#include "common/env.hpp"
 #include "common/math_util.hpp"
+#include "common/plan_registry.hpp"
 #include "dft/codelets.hpp"
 #include "fft/executor.hpp"
 
@@ -96,19 +96,12 @@ std::shared_ptr<const PlanNode> build_plan(std::size_t n) {
 }  // namespace
 
 std::shared_ptr<const PlanNode> make_plan(std::size_t n) {
-  static std::mutex mu;
-  static std::unordered_map<std::size_t, std::shared_ptr<const PlanNode>>
-      cache;
-  {
-    std::scoped_lock lock(mu);
-    auto it = cache.find(n);
-    if (it != cache.end()) return it->second;
-  }
-  // Build outside the lock: plan construction can recurse into make_plan-free
-  // build_plan calls and may be slow for large n.
-  auto plan = build_plan(n);
-  std::scoped_lock lock(mu);
-  return cache.emplace(n, std::move(plan)).first->second;
+  // LRU-bounded by FTFFT_PLAN_CACHE_CAP; the builder runs outside the
+  // registry lock because plan construction may be slow for large n.
+  // Eviction of a root node releases its whole subtree (sub-plans are not
+  // cached individually).
+  static PlanRegistry<std::size_t, PlanNode> registry(plan_cache_capacity());
+  return registry.get_or_build(n, [n] { return build_plan(n); });
 }
 
 std::string describe_plan(const PlanNode& node) {

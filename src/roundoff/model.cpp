@@ -53,23 +53,35 @@ double throughput(double eta, std::size_t n, double sigma) noexcept {
   return 1.0 / (3.0 - 2.0 * phi(eta / denom));
 }
 
-double practical_eta(std::size_t n, double sigma0) noexcept {
+double practical_eta_coeff(std::size_t n) noexcept {
   // The closed-form (rA) weights reach O(0.83 n), so the running partial
   // sums of (rA)x are O(n sigma) across ~n additions: the residual of the
   // checksum comparison grows like eps * n^2 * sigma. (This also matches
   // the paper's measured Max round-off, e.g. ~1e-8 for m = 2^13.)
   const double nd = static_cast<double>(n);
   const double eps = 0x1.0p-52;
-  return std::max(kEtaFloor, kSafety * eps * nd * nd * sigma0);
+  return kSafety * eps * nd * nd;
 }
 
-double practical_eta_memory(std::size_t n, double sigma0) noexcept {
+double practical_eta_memory_coeff(std::size_t n) noexcept {
   // Plain summation noise: ~eps * n * sigma per sum; the indexed sum is
   // checked through the same plain-difference gate, so size for the plain
   // one.
   const double nd = static_cast<double>(n);
   const double eps = 0x1.0p-52;
-  return std::max(kEtaFloor, kSafety * eps * nd * std::sqrt(nd) * sigma0);
+  return kSafety * eps * nd * std::sqrt(nd);
+}
+
+double eta_from_coeff(double coeff, double sigma0) noexcept {
+  return std::max(kEtaFloor, coeff * sigma0);
+}
+
+double practical_eta(std::size_t n, double sigma0) noexcept {
+  return eta_from_coeff(practical_eta_coeff(n), sigma0);
+}
+
+double practical_eta_memory(std::size_t n, double sigma0) noexcept {
+  return eta_from_coeff(practical_eta_memory_coeff(n), sigma0);
 }
 
 OnlineEtas online_etas(std::size_t m, std::size_t k, double sigma0) noexcept {

@@ -56,6 +56,21 @@ namespace ftfft::roundoff {
 [[nodiscard]] double practical_eta_memory(std::size_t n,
                                           double sigma0) noexcept;
 
+// The practical thresholds factor as max(floor, coeff(n) * sigma0); the
+// sigma-independent coefficient is what an abft::ProtectionPlan precomputes
+// per layer so the per-sub-FFT threshold derivation in the hot path is one
+// multiply. eta_from_coeff(practical_eta_coeff(n), s) is bit-identical to
+// practical_eta(n, s).
+
+/// Coefficient of practical_eta: kSafety * eps * n^2.
+[[nodiscard]] double practical_eta_coeff(std::size_t n) noexcept;
+
+/// Coefficient of practical_eta_memory: kSafety * eps * n * sqrt(n).
+[[nodiscard]] double practical_eta_memory_coeff(std::size_t n) noexcept;
+
+/// Applies a precomputed threshold coefficient: max(floor, coeff * sigma0).
+[[nodiscard]] double eta_from_coeff(double coeff, double sigma0) noexcept;
+
 /// Per-layer thresholds for the two-layer online scheme over N = m*k.
 struct OnlineEtas {
   double eta_m = 0.0;    ///< m-point layer CCV threshold
