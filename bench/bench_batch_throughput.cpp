@@ -8,7 +8,13 @@
 // splits a batch into ABFT setup vs transform time to show the
 // ProtectionPlan amortization (setup once per batch instead of per lane),
 // and a third compares the fused radix-4 in-place kernel against the
-// classic radix-2 schedule on single transforms.
+// classic radix-2 schedule on single transforms. A fourth table measures
+// the async submission pipeline: the same work split into many jobs,
+// submitted blocking one-by-one vs queued all at once through
+// submit_batch futures (workers flow into the next job while stragglers
+// finish the previous one). The run ends with the per-cache plan
+// statistics snapshot (ftfft::plan_cache_stats) so FTFFT_PLAN_CACHE_CAP
+// can be tuned from observed hit/miss/eviction rates.
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -156,6 +162,61 @@ int main() {
                                                 before));
   }
 
+  // --------------------------------------------------- async pipelining
+  // A serving layer rarely sees one giant batch; it sees a stream of small
+  // jobs. Submitting them all and collecting futures keeps the worker pool
+  // saturated across job boundaries, where the blocking path inserts a
+  // full drain between consecutive jobs.
+  {
+    const std::size_t jobs = 8;
+    const std::size_t lanes_per_job = lanes / jobs;
+    engine::BatchEngine eng(hw);
+    engine::BatchOptions opts;
+    opts.abft = abft::Options::online_opt(true);
+    std::vector<std::vector<cplx>> ins(lanes);
+    std::vector<std::vector<cplx>> outs(lanes, std::vector<cplx>(n));
+    std::vector<engine::Lane> all_lanes(lanes);
+    auto reset_lanes = [&] {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        ins[l] = inputs[l];
+        all_lanes[l] = {ins[l].data(), outs[l].data(), nullptr};
+      }
+    };
+    const double t_blocking = bench::time_best(reps, [&] {
+      reset_lanes();
+      for (std::size_t j = 0; j < jobs; ++j) {
+        (void)eng.transform_batch(
+            {all_lanes.data() + j * lanes_per_job, lanes_per_job}, n, opts);
+      }
+    });
+    const double t_pipelined = bench::time_best(reps, [&] {
+      reset_lanes();
+      std::vector<engine::BatchFuture> futures;
+      futures.reserve(jobs);
+      for (std::size_t j = 0; j < jobs; ++j) {
+        futures.push_back(eng.submit_batch(
+            {all_lanes.data() + j * lanes_per_job, lanes_per_job}, n, opts));
+      }
+      for (auto& f : futures) (void)f.get();
+    });
+    std::printf("\nasync pipeline: %zu jobs x %zu lanes on %u threads\n\n",
+                jobs, lanes_per_job, hw);
+    TablePrinter pipe({"submission", "time (ms)", "transforms/s", "speedup"});
+    char speedup[32];
+    std::snprintf(speedup, sizeof speedup, "%.2f", t_blocking / t_pipelined);
+    pipe.add_row({"blocking loop (drain per job)",
+                  TablePrinter::fixed(t_blocking * 1e3, 2),
+                  TablePrinter::fixed(static_cast<double>(lanes) / t_blocking,
+                                      0),
+                  "1.00"});
+    pipe.add_row({"queued futures (submit all, then get)",
+                  TablePrinter::fixed(t_pipelined * 1e3, 2),
+                  TablePrinter::fixed(static_cast<double>(lanes) / t_pipelined,
+                                      0),
+                  speedup});
+    pipe.print();
+  }
+
   std::printf("\nradix-4 vs radix-2 in-place kernel (single transform)\n\n");
   TablePrinter kernel_table({"n", "radix-2 (us)", "radix-4 (us)", "speedup"});
   for (std::size_t kn : {1u << 10, 1u << 12, 1u << 14, 1u << 16, 1u << 18}) {
@@ -178,5 +239,20 @@ int main() {
                           TablePrinter::fixed(t4 * 1e6, 1), speedup});
   }
   kernel_table.print();
+
+  // ------------------------------------------------- plan cache traffic
+  // The tuning feed for FTFFT_PLAN_CACHE_CAP: steady evictions with a low
+  // hit rate mean the bound is thrashing for this traffic mix.
+  std::printf("\nplan cache statistics (FTFFT_PLAN_CACHE_CAP = %zu)\n\n",
+              plan_cache_capacity());
+  TablePrinter caches(
+      {"cache", "size", "capacity", "hits", "misses", "evictions"});
+  for (const PlanCacheStats& s : plan_cache_stats()) {
+    caches.add_row({s.name, std::to_string(s.size),
+                    s.capacity == 0 ? "unbounded" : std::to_string(s.capacity),
+                    std::to_string(s.hits), std::to_string(s.misses),
+                    std::to_string(s.evictions)});
+  }
+  caches.print();
   return 0;
 }

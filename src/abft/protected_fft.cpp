@@ -77,8 +77,10 @@ void protected_transform_inplace(cplx* data, std::size_t n,
 }
 
 std::vector<cplx> protected_fft(std::vector<cplx> input, const Options& opts) {
-  // Single shot = a batch of one; the shared engine runs it inline on the
-  // calling thread, so this costs no dispatch over the raw transform.
+  // Single shot = a blocking batch of one on the shared engine. This shape
+  // (out-of-place, no staging) takes the engine's inline fast path: it runs
+  // on the calling thread through the same lane code the workers use, so
+  // it neither pays queue dispatch nor waits behind queued batches.
   std::vector<cplx> out(input.size());
   engine::BatchEngine::shared().transform_one(input.data(), out.data(),
                                               input.size(), opts);

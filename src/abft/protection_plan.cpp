@@ -45,6 +45,14 @@ PlanRegistry<PlanKey, ProtectionPlan, PlanKeyHash>& registry() {
   return instance;
 }
 
+// Enroll in plan_cache_stats() before main. The lambda is lazy on purpose:
+// the registry (and its FTFFT_PLAN_CACHE_CAP read) is only materialized at
+// first use or first stats call, never during static initialization.
+const bool registry_registered =
+    (ftfft::detail::register_plan_cache(
+         [] { return registry().snapshot("protection-plan"); }),
+     true);
+
 EtaCoeffs eta_coeffs(std::size_t n) {
   return {roundoff::practical_eta_coeff(n),
           roundoff::practical_eta_memory_coeff(n)};

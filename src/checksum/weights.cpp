@@ -100,11 +100,27 @@ std::vector<cplx> input_checksum_vector_dmr(std::size_t n, RaGenMethod method,
   return first;
 }
 
-std::shared_ptr<const std::vector<cplx>> shared_input_checksum_vector(
-    std::size_t n, RaGenMethod method) {
+namespace {
+
+PlanRegistry<RaKey, std::vector<cplx>, RaKeyHash>& ra_registry() {
   static PlanRegistry<RaKey, std::vector<cplx>, RaKeyHash> registry(
       plan_cache_capacity());
-  return registry.get_or_build(RaKey{n, method}, [&] {
+  return registry;
+}
+
+// Enroll in plan_cache_stats() before main. The lambda is lazy on purpose:
+// the registry (and its FTFFT_PLAN_CACHE_CAP read) is only materialized at
+// first use or first stats call, never during static initialization.
+const bool ra_registry_registered =
+    (ftfft::detail::register_plan_cache(
+         [] { return ra_registry().snapshot("checksum-weights"); }),
+     true);
+
+}  // namespace
+
+std::shared_ptr<const std::vector<cplx>> shared_input_checksum_vector(
+    std::size_t n, RaGenMethod method) {
+  return ra_registry().get_or_build(RaKey{n, method}, [&] {
     return std::make_shared<const std::vector<cplx>>(
         input_checksum_vector_dmr(n, method));
   });

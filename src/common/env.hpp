@@ -4,6 +4,12 @@
 // trees, in-place plans, checksum weight vectors, ABFT ProtectionPlans) to
 // that many entries each, evicted least-recently-used; 0 removes the bound.
 //
+// FTFFT_ENGINE_THREADS sets the worker count of every engine::BatchEngine
+// constructed with num_threads = 0 — including the process-wide shared()
+// engine behind the single-shot wrappers — so tests, CI and co-tenant
+// deployments can bound the pool without code changes; 0/unset falls back
+// to std::thread::hardware_concurrency(). Read at engine construction.
+//
 // The paper's experiments ran at N = 2^25..2^28 sequential and N = 2^31..2^34
 // on 128..1024 cores of Tianhe-2. This reproduction defaults to sizes that a
 // single-core container finishes in minutes; FTFFT_BENCH_SCALE shifts every

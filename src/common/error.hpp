@@ -28,6 +28,15 @@ class PlanMismatchError : public std::invalid_argument {
       : std::invalid_argument(what) {}
 };
 
+/// Carried by batch-report lanes that were skipped because the submission
+/// was cancelled (engine::BatchTicket::cancel) before they started. Not a
+/// machine fault and not caller misuse — its own branch of the taxonomy.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 namespace detail {
 inline void require(bool cond, const char* msg) {
   if (!cond) throw std::invalid_argument(msg);

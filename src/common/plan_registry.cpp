@@ -1,0 +1,51 @@
+#include "common/plan_registry.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ftfft {
+
+namespace {
+
+struct CacheList {
+  std::mutex mu;
+  std::vector<std::function<PlanCacheStats()>> snapshots;
+};
+
+// Meyers singleton so registration from any static initializer is safe
+// regardless of translation-unit order.
+CacheList& cache_list() {
+  static CacheList instance;
+  return instance;
+}
+
+}  // namespace
+
+namespace detail {
+
+void register_plan_cache(std::function<PlanCacheStats()> snapshot) {
+  CacheList& list = cache_list();
+  std::scoped_lock lock(list.mu);
+  list.snapshots.push_back(std::move(snapshot));
+}
+
+}  // namespace detail
+
+std::vector<PlanCacheStats> plan_cache_stats() {
+  std::vector<std::function<PlanCacheStats()>> snapshots;
+  {
+    CacheList& list = cache_list();
+    std::scoped_lock lock(list.mu);
+    snapshots = list.snapshots;
+  }
+  std::vector<PlanCacheStats> stats;
+  stats.reserve(snapshots.size());
+  for (const auto& snap : snapshots) stats.push_back(snap());
+  std::sort(stats.begin(), stats.end(),
+            [](const PlanCacheStats& a, const PlanCacheStats& b) {
+              return std::strcmp(a.name, b.name) < 0;
+            });
+  return stats;
+}
+
+}  // namespace ftfft

@@ -22,8 +22,34 @@
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace ftfft {
+
+/// One cache's counters at a point in time (see plan_cache_stats()).
+struct PlanCacheStats {
+  const char* name = "";      ///< stable identifier, e.g. "protection-plan"
+  std::size_t size = 0;       ///< entries currently cached
+  std::size_t capacity = 0;   ///< LRU bound (0 = unbounded)
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Snapshot of every named process-wide plan cache, sorted by name. This is
+/// the tuning feed for FTFFT_PLAN_CACHE_CAP: a cache with steady evictions
+/// and a hit rate below its neighbors is thrashing its bound.
+std::vector<PlanCacheStats> plan_cache_stats();
+
+namespace detail {
+/// Registers a cache's snapshot callback for plan_cache_stats(). Called
+/// from pre-main initializers in the modules that own a cache, so the
+/// callback must be lazy: it may construct the registry when invoked (and
+/// thereby latch FTFFT_PLAN_CACHE_CAP), but registration itself must not —
+/// applications set the env knob as late as the top of main(). There is no
+/// unregister; registered caches are immortal function-local statics.
+void register_plan_cache(std::function<PlanCacheStats()> snapshot);
+}  // namespace detail
 
 /// Thread-safe LRU map from Key to shared immutable Value.
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
@@ -31,6 +57,12 @@ class PlanRegistry {
  public:
   /// capacity 0 = unbounded (the pre-eviction behavior).
   explicit PlanRegistry(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Counters snapshot under `name` for plan_cache_stats().
+  [[nodiscard]] PlanCacheStats snapshot(const char* name) const {
+    std::scoped_lock lock(mu_);
+    return {name, lru_.size(), capacity_, hits_, misses_, evictions_};
+  }
 
   /// Returns the cached value for `key`, building it via `build()` on a
   /// miss. `build` must return std::shared_ptr<const Value> and runs

@@ -2,8 +2,23 @@
 
 #include "abft/protection_plan.hpp"
 #include "common/error.hpp"
+#include "fft/inplace_radix2.hpp"
+#include "fft/plan.hpp"
 
 namespace ftfft {
+
+namespace {
+
+// Materializes the unprotected-executor plans one transform of size n will
+// touch: the mixed-radix decomposition tree and, for power-of-two sizes,
+// the iterative in-place plan (Fft::execute_inplace dispatches to it).
+void warm_fft_plans(std::size_t n) {
+  if (n < 2) return;
+  (void)fft::make_plan(n);
+  if ((n & (n - 1)) == 0) (void)fft::InplaceRadix2Plan::get(n);
+}
+
+}  // namespace
 
 FtPlan::FtPlan(std::size_t n, PlanConfig config) : n_(n), config_(config) {
   detail::require(n >= 1, "FtPlan: size must be >= 1");
@@ -36,7 +51,61 @@ engine::BatchReport transform_batch(std::span<const engine::Lane> lanes,
                                     std::size_t n, const PlanConfig& config) {
   engine::BatchOptions opts;
   opts.abft = make_abft_options(config);
+  // The engine's blocking wrapper rather than submit(...).get(): it keeps
+  // the inline single-lane fast path.
   return engine::BatchEngine::shared().transform_batch(lanes, n, opts);
+}
+
+engine::BatchFuture submit_batch(std::span<const engine::Lane> lanes,
+                                 std::size_t n, const PlanConfig& config) {
+  engine::BatchOptions opts;
+  opts.abft = make_abft_options(config);
+  return engine::BatchEngine::shared().submit_batch(lanes, n, opts);
+}
+
+std::size_t warm_plans(std::span<const std::size_t> sizes,
+                       const PlanConfig& config) {
+  const abft::Options opts = make_abft_options(config);
+  std::size_t resident = 0;
+  for (const std::size_t n : sizes) {
+    if (n < 1) continue;
+    // Protection kNone resolves to no ProtectionPlan; the FFT plans below
+    // are still the first-request cost worth prepaying.
+    const abft::ProtectionPlan* prev = nullptr;
+    for (const bool inplace : {false, true}) {
+      try {
+        const auto plan = abft::resolve_protection_plan(n, opts, inplace);
+        if (plan == nullptr) continue;
+        // kOffline resolves both variants to the same cache entry; count
+        // distinct plans, not resolutions.
+        if (plan.get() != prev) ++resident;
+        prev = plan.get();
+        switch (plan->scheme()) {
+          case abft::Scheme::kOffline:
+            warm_fft_plans(n);
+            break;
+          case abft::Scheme::kOnline:
+            warm_fft_plans(plan->m());
+            warm_fft_plans(plan->k());
+            break;
+          case abft::Scheme::kOnlineInplace:
+            warm_fft_plans(plan->k());
+            break;
+        }
+      } catch (const std::invalid_argument&) {
+        // This (size, variant) combination is unsupported (e.g. square-free
+        // n for the in-place k*r*k shape); a real submission of it would
+        // fail per lane, so there is nothing to prepay.
+      }
+    }
+    warm_fft_plans(n);
+  }
+  return resident;
+}
+
+engine::BatchFuture FtPlan::submit_batch(
+    std::span<const engine::Lane> lanes) const {
+  return ftfft::submit_batch(lanes, n_, config_);
 }
 
 abft::Options FtPlan::abft_options() const {

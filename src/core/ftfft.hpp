@@ -23,6 +23,7 @@
 #include "abft/protected_fft.hpp"  // IWYU pragma: export
 #include "common/complex.hpp"   // IWYU pragma: export
 #include "common/error.hpp"     // IWYU pragma: export
+#include "common/plan_registry.hpp"  // IWYU pragma: export (plan_cache_stats)
 #include "common/rng.hpp"       // IWYU pragma: export
 #include "engine/batch_engine.hpp"  // IWYU pragma: export
 #include "fault/injector.hpp"   // IWYU pragma: export
@@ -60,12 +61,34 @@ struct PlanConfig {
 [[nodiscard]] abft::Options make_abft_options(const PlanConfig& config);
 
 /// Runs the protected n-point transform on every lane concurrently on the
-/// process-wide shared BatchEngine. Lanes share `config`; schedule per-lane
-/// injectors through engine::Lane::injector. See engine/batch_engine.hpp
-/// for the full contract (per-lane stats, failure isolation).
+/// process-wide shared BatchEngine, blocking until the batch completes.
+/// Lanes share `config`; schedule per-lane injectors through
+/// engine::Lane::injector. See engine/batch_engine.hpp for the full
+/// contract (per-lane stats, failure isolation).
 engine::BatchReport transform_batch(std::span<const engine::Lane> lanes,
                                     std::size_t n,
                                     const PlanConfig& config = {});
+
+/// Queues the batch on the process-wide shared BatchEngine and returns
+/// immediately; overlap admission/I-O with in-flight transforms and
+/// collect the report through the future. The lane descriptors are copied,
+/// but the buffers they point to must stay alive until the future is
+/// ready. Thread-safe: any number of serving threads may submit
+/// concurrently.
+engine::BatchFuture submit_batch(std::span<const engine::Lane> lanes,
+                                 std::size_t n,
+                                 const PlanConfig& config = {});
+
+/// Pre-resolves every plan a serving layer with a known size distribution
+/// will need — FFT decomposition plans (including the sub-FFT sizes the
+/// protected schemes execute) and the ABFT ProtectionPlans, out-of-place
+/// and in-place variants — so the first submission of each size is a pure
+/// cache hit: zero rA-generation passes, zero plan builds. Variants a size
+/// does not support (e.g. the in-place k*r*k shape for square-free n) are
+/// skipped. Returns the number of distinct ProtectionPlans resident for
+/// the requested sizes (already-cached plans count — they are resident).
+std::size_t warm_plans(std::span<const std::size_t> sizes,
+                       const PlanConfig& config = {});
 
 /// A reusable soft-error-protected transform of one size.
 ///
@@ -92,6 +115,14 @@ class FtPlan {
   /// of a protected forward transform; the conjugation passes themselves
   /// are unprotected O(n) copies.
   void backward(cplx* in, cplx* out);
+
+  /// Queues a batch of this plan's size and configuration on the shared
+  /// BatchEngine and returns immediately (see ftfft::submit_batch). Unlike
+  /// forward(), this does not touch the plan's per-execution statistics —
+  /// per-lane stats arrive in the future's BatchReport — so one FtPlan may
+  /// issue submissions from many threads.
+  [[nodiscard]] engine::BatchFuture submit_batch(
+      std::span<const engine::Lane> lanes) const;
 
   /// Statistics of the most recent execution on this plan.
   [[nodiscard]] const abft::Stats& last_stats() const { return stats_; }

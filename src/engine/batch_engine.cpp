@@ -3,18 +3,38 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <cstdint>
-#include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "abft/protected_fft.hpp"
 #include "abft/protection_plan.hpp"
 #include "common/aligned_buffer.hpp"
+#include "common/env.hpp"
 #include "common/error.hpp"
 
 namespace ftfft::engine {
+
+namespace detail {
+
+/// Completion state of one submission, shared between the queued job, the
+/// BatchFuture and any BatchTicket copies. The report's per-lane slots are
+/// pre-sized at submission and written lock-free by workers (disjoint
+/// indices); `ready` is published under `mu`, which orders those writes
+/// before any reader.
+struct BatchShared {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  bool report_taken = false;
+  std::exception_ptr error;  // job aborted wholesale (never per-lane)
+  BatchReport report;
+  std::vector<std::function<void(BatchReport&)>> callbacks;
+  std::atomic<bool> cancel{false};
+};
+
+}  // namespace detail
 
 namespace {
 
@@ -33,6 +53,20 @@ void accumulate(abft::Stats& into, const abft::Stats& s) {
   into.eta_mem = std::max(into.eta_mem, s.eta_mem);
 }
 
+// Expands the contiguous batch layout (lane L at in + L*n / out + L*n)
+// into lane descriptors; out == nullptr means every lane is in place.
+std::vector<Lane> pack_lanes(cplx* in, cplx* out, std::size_t n,
+                             std::size_t count) {
+  ftfft::detail::require(in != nullptr,
+                         "BatchEngine: batch input must not be null");
+  std::vector<Lane> lanes(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    lanes[i].in = in + i * n;
+    lanes[i].out = out == nullptr ? nullptr : out + i * n;
+  }
+  return lanes;
+}
+
 std::size_t pick_chunk(std::size_t lanes, std::size_t threads,
                        std::size_t requested) {
   if (requested > 0) return requested;
@@ -42,21 +76,129 @@ std::size_t pick_chunk(std::size_t lanes, std::size_t threads,
   return std::max<std::size_t>(1, (lanes + grabs - 1) / grabs);
 }
 
+/// Fulfills the shared state: drains the registered callbacks (outside the
+/// state lock, re-checking for ones registered mid-drain), then publishes
+/// ready — so a caller that observes ready via wait()/get() knows every
+/// callback registered before completion has finished. Callbacks are
+/// documented non-throwing; a throw here would take down a worker thread,
+/// so it is swallowed.
+void fulfill(detail::BatchShared& state) {
+  for (;;) {
+    std::vector<std::function<void(BatchReport&)>> callbacks;
+    {
+      std::scoped_lock lock(state.mu);
+      if (state.callbacks.empty()) {
+        state.ready = true;
+        break;
+      }
+      callbacks.swap(state.callbacks);
+    }
+    for (auto& cb : callbacks) {
+      try {
+        cb(state.report);
+      } catch (...) {
+      }
+    }
+  }
+  state.cv.notify_all();
+}
+
 }  // namespace
+
+// ------------------------------------------------------------- BatchTicket
+
+BatchTicket::BatchTicket(std::shared_ptr<detail::BatchShared> shared)
+    : shared_(std::move(shared)) {}
+
+void BatchTicket::cancel() const noexcept {
+  if (shared_) shared_->cancel.store(true, std::memory_order_relaxed);
+}
+
+bool BatchTicket::cancelled() const noexcept {
+  return shared_ && shared_->cancel.load(std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------- BatchFuture
+
+BatchFuture::BatchFuture(std::shared_ptr<detail::BatchShared> shared)
+    : shared_(std::move(shared)) {}
+
+bool BatchFuture::ready() const {
+  ftfft::detail::require(shared_ != nullptr, "BatchFuture: no associated batch");
+  std::scoped_lock lock(shared_->mu);
+  return shared_->ready;
+}
+
+void BatchFuture::wait() const {
+  ftfft::detail::require(shared_ != nullptr, "BatchFuture: no associated batch");
+  std::unique_lock lock(shared_->mu);
+  shared_->cv.wait(lock, [&] { return shared_->ready; });
+}
+
+bool BatchFuture::wait_for(std::chrono::nanoseconds timeout) const {
+  ftfft::detail::require(shared_ != nullptr, "BatchFuture: no associated batch");
+  std::unique_lock lock(shared_->mu);
+  return shared_->cv.wait_for(lock, timeout, [&] { return shared_->ready; });
+}
+
+BatchReport BatchFuture::get() {
+  ftfft::detail::require(shared_ != nullptr, "BatchFuture: no associated batch");
+  BatchReport out;
+  {
+    std::unique_lock lock(shared_->mu);
+    shared_->cv.wait(lock, [&] { return shared_->ready; });
+    ftfft::detail::require(!shared_->report_taken,
+                    "BatchFuture::get: report already taken");
+    if (shared_->error) {
+      std::exception_ptr error = shared_->error;
+      lock.unlock();
+      shared_.reset();
+      std::rethrow_exception(error);
+    }
+    shared_->report_taken = true;
+    out = std::move(shared_->report);
+  }
+  shared_.reset();
+  return out;
+}
+
+void BatchFuture::then(std::function<void(BatchReport&)> cb) {
+  ftfft::detail::require(shared_ != nullptr, "BatchFuture: no associated batch");
+  ftfft::detail::require(cb != nullptr, "BatchFuture::then: null callback");
+  std::scoped_lock lock(shared_->mu);
+  if (!shared_->ready) {
+    shared_->callbacks.push_back(std::move(cb));
+    return;
+  }
+  // Already completed: run inline on the caller. The lock stays held so a
+  // concurrent get() on a copy of this future cannot move the report out
+  // from under the callback (which is why callbacks must not re-enter this
+  // future); a report already consumed by get() is caught misuse.
+  ftfft::detail::require(!shared_->report_taken,
+                         "BatchFuture::then: report already taken by get()");
+  cb(shared_->report);
+}
+
+BatchTicket BatchFuture::ticket() const {
+  ftfft::detail::require(shared_ != nullptr, "BatchFuture: no associated batch");
+  return BatchTicket(shared_);
+}
+
+// -------------------------------------------------------------- BatchEngine
 
 struct BatchEngine::Impl {
   // Capacity/peak ratio beyond which an arena counts as oversized, and how
-  // many consecutive oversized batches it takes before the excess is
+  // many consecutive oversized jobs it takes before the excess is
   // released. The patience keeps alternating big/small workloads from
-  // reallocating every batch.
+  // reallocating every job.
   static constexpr std::size_t kTrimFactor = 4;
   static constexpr int kTrimPatience = 2;
 
-  // Per-worker staging storage, reused across lanes and batches.
+  // Per-worker staging storage, reused across lanes and jobs.
   struct Arena {
     AlignedBuffer<cplx> staging;
-    std::size_t batch_peak = 0;  // largest request in the current batch
-    int oversized_batches = 0;   // consecutive batches far below capacity
+    std::size_t batch_peak = 0;  // largest request in the current job
+    int oversized_batches = 0;   // consecutive jobs far below capacity
 
     cplx* ensure(std::size_t n) {
       batch_peak = std::max(batch_peak, n);
@@ -67,10 +209,10 @@ struct BatchEngine::Impl {
       return staging.data();
     }
 
-    // High-water trim: a one-off huge batch should not pin its staging
-    // forever. After kTrimPatience consecutive batches whose peak demand
+    // High-water trim: a one-off huge job should not pin its staging
+    // forever. After kTrimPatience consecutive jobs whose peak demand
     // stayed kTrimFactor below the arena's capacity, shrink to that peak.
-    // Batches that never touched this arena are not evidence of shrinking
+    // Jobs that never touched this arena are not evidence of shrinking
     // demand (under-subscribed workloads rotate which workers win chunks);
     // they leave the counter untouched so participation gaps don't cause
     // free/realloc churn.
@@ -88,33 +230,47 @@ struct BatchEngine::Impl {
     }
   };
 
-  // One batch in flight; guarded by mu for publication, raced via atomics.
+  // One queued submission. Heap-owned and linked into the engine's
+  // intrusive FIFO through `next`; kept alive by shared_ptrs held by the
+  // queue, by every worker currently draining it, and (through `state`)
+  // by the caller's BatchFuture/BatchTicket. All non-atomic fields are
+  // written by the submitting thread before the job is published under the
+  // queue mutex and never mutated afterwards.
   struct Job {
-    const Lane* lanes = nullptr;
-    std::size_t count = 0;
+    std::vector<Lane> lanes;
     std::size_t n = 0;
-    const BatchOptions* opts = nullptr;
-    BatchReport* report = nullptr;
-    // Protection plans resolved once per batch and shared by every lane
-    // (rA generation and threshold derivation drop from O(lanes * n) to
-    // O(n) per batch). Resolution failures are parked as exception_ptrs so
-    // they surface per lane, preserving the report's failure isolation.
-    const abft::ProtectionPlan* plan = nullptr;          // out-of-place lanes
-    const abft::ProtectionPlan* plan_inplace = nullptr;  // in-place lanes
+    BatchOptions opts;
+    // Protection plans resolved once at submission and shared by every
+    // lane (rA generation and threshold derivation drop from O(lanes * n)
+    // to O(n) per batch); the shared_ptrs pin them however long the job
+    // waits in the queue, even if the LRU cache evicts them. Resolution
+    // failures are parked as exception_ptrs so they surface per lane,
+    // preserving the report's failure isolation.
+    std::shared_ptr<const abft::ProtectionPlan> plan;          // out-of-place
+    std::shared_ptr<const abft::ProtectionPlan> plan_inplace;  // in-place
     std::exception_ptr plan_error;
     std::exception_ptr plan_inplace_error;
+    std::shared_ptr<detail::BatchShared> state;
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::size_t> remaining{0};
-    std::atomic<std::size_t> workers_inside{0};
+    std::atomic<std::size_t> cancelled{0};
     std::size_t chunk = 1;
+    std::shared_ptr<Job> next;  // FIFO link, guarded by mu_
   };
 
   explicit Impl(std::size_t num_threads)
-      : num_threads_(num_threads == 0
-                         ? std::max(1u, std::thread::hardware_concurrency())
-                         : num_threads),
-        arenas_(num_threads_) {}
+      : num_threads_(resolve_threads(num_threads)), arenas_(num_threads_) {}
 
+  static std::size_t resolve_threads(std::size_t requested) {
+    if (requested != 0) return requested;
+    const std::size_t from_env = env_size("FTFFT_ENGINE_THREADS", 0);
+    if (from_env != 0) return from_env;
+    return std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  // Drains the queue: workers keep pulling jobs after stop_ is set and
+  // only exit once nothing is left to claim, and join() then waits for
+  // in-flight lanes — so every future is fulfilled before the engine dies.
   ~Impl() {
     {
       std::scoped_lock lock(mu_);
@@ -124,66 +280,73 @@ struct BatchEngine::Impl {
     for (auto& t : workers_) t.join();
   }
 
-  void spawn_workers() {
-    if (!workers_.empty() || num_threads_ <= 1) return;
-    workers_.reserve(num_threads_ - 1);
-    // Worker w uses arenas_[w]; the caller thread (which participates in
-    // every batch) uses the last arena slot.
-    for (std::size_t w = 0; w + 1 < num_threads_; ++w) {
+  void spawn_workers_locked() {
+    if (!workers_.empty()) return;
+    workers_.reserve(num_threads_);
+    for (std::size_t w = 0; w < num_threads_; ++w) {
       workers_.emplace_back([this, w] { worker_loop(w); });
     }
   }
 
   void worker_loop(std::size_t arena_index) {
-    std::uint64_t seen = 0;
+    Arena& arena = arenas_[arena_index];
     for (;;) {
-      Job* job = nullptr;
+      std::shared_ptr<Job> job;
       {
         std::unique_lock lock(mu_);
-        cv_work_.wait(lock,
-                      [&] { return stop_ || generation_ != seen; });
-        if (stop_) return;
-        seen = generation_;
-        job = job_;
-        // job_ can already be retired (batch finished before this worker
-        // woke); the caller clears it under mu_, so a non-null read here
-        // guarantees the Job outlives our drain (the caller additionally
-        // waits for workers_inside to hit zero).
-        if (job == nullptr) continue;
-        job->workers_inside.fetch_add(1, std::memory_order_relaxed);
+        cv_work_.wait(lock, [&] { return stop_ || head_ != nullptr; });
+        if (head_ == nullptr) return;  // stop_ set and queue drained
+        job = head_;
       }
-      drain(*job, arenas_[arena_index]);
-      {
-        std::scoped_lock lock(mu_);
-        job->workers_inside.fetch_sub(1, std::memory_order_acq_rel);
-        cv_done_.notify_all();
-      }
+      work_on(*job, arena);
     }
   }
 
-  // Claims chunks of lanes until the batch cursor is exhausted.
-  void drain(Job& job, Arena& arena) {
+  // Claims chunks of the job's lanes until its cursor is exhausted, then
+  // retires it from the queue front (so workers move on to the next job
+  // while stragglers finish this one) and, if this worker ran the job's
+  // final lane, fulfills its future.
+  void work_on(Job& job, Arena& arena) {
+    const std::size_t count = job.lanes.size();
+    std::size_t done = 0;
     for (;;) {
       const std::size_t begin =
           job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
-      if (begin >= job.count) break;
-      const std::size_t end = std::min(begin + job.chunk, job.count);
-      for (std::size_t i = begin; i < end; ++i) {
-        run_lane(job, i, arena);
+      if (begin >= count) break;
+      const std::size_t end = std::min(begin + job.chunk, count);
+      for (std::size_t i = begin; i < end; ++i) run_lane(job, i, arena);
+      done += end - begin;
+    }
+    {
+      std::scoped_lock lock(mu_);
+      if (head_.get() == &job) {
+        head_ = std::move(head_->next);
+        if (head_ == nullptr) tail_ = nullptr;
       }
-      const std::size_t done = end - begin;
-      if (job.remaining.fetch_sub(done, std::memory_order_acq_rel) == done) {
-        std::scoped_lock lock(mu_);
-        cv_done_.notify_all();
-      }
+    }
+    // Trim bookkeeping happens before this worker's lanes are subtracted
+    // from `remaining`, so a ready future implies no worker still touches
+    // an arena on this job's behalf (staging_capacity() stays readable
+    // from the caller once the engine is idle).
+    arena.end_batch();
+    if (done > 0 &&
+        job.remaining.fetch_sub(done, std::memory_order_acq_rel) == done) {
+      finish(job);
     }
   }
 
   void run_lane(Job& job, std::size_t index, Arena& arena) {
+    BatchReport& report = job.state->report;
+    if (job.state->cancel.load(std::memory_order_relaxed)) {
+      report.errors[index] = "lane cancelled before execution";
+      report.exceptions[index] = std::make_exception_ptr(
+          CancelledError("BatchEngine: lane cancelled before execution"));
+      job.cancelled.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     const Lane& lane = job.lanes[index];
     const std::size_t n = job.n;
-    BatchReport& report = *job.report;
-    abft::Options opts = job.opts->abft;
+    abft::Options opts = job.opts.abft;
     if (lane.injector != nullptr) opts.injector = lane.injector;
     try {
       const bool inplace = lane.out == nullptr;
@@ -192,7 +355,7 @@ struct BatchEngine::Impl {
       }
       if (!inplace && job.plan_error) std::rethrow_exception(job.plan_error);
       cplx* in = lane.in;
-      if (job.opts->preserve_inputs || lane.out == lane.in) {
+      if (job.opts.preserve_inputs || lane.out == lane.in) {
         cplx* staged = arena.ensure(n);
         std::copy(lane.in, lane.in + n, staged);
         in = staged;
@@ -200,110 +363,156 @@ struct BatchEngine::Impl {
       abft::Stats& stats = report.per_lane[index];
       if (inplace) {
         abft::protected_transform_inplace(in, n, opts, stats,
-                                          job.plan_inplace);
+                                          job.plan_inplace.get());
         if (in != lane.in) std::copy(in, in + n, lane.in);
       } else {
-        abft::protected_transform(in, lane.out, n, opts, stats, job.plan);
+        abft::protected_transform(in, lane.out, n, opts, stats,
+                                  job.plan.get());
       }
     } catch (const std::exception& e) {
       report.errors[index] = e.what();
       report.exceptions[index] = std::current_exception();
+    } catch (...) {
+      report.errors[index] = "unknown exception";
+      report.exceptions[index] = std::current_exception();
     }
   }
 
-  BatchReport run(std::span<const Lane> lanes, std::size_t n,
-                  const BatchOptions& opts) {
-    detail::require(n >= 1, "BatchEngine: size must be >= 1");
+  // Tallies the finished job's report and fulfills its future. Runs on the
+  // worker that completed the last lane; every other worker has already
+  // subtracted its contribution, so the report slots are quiescent.
+  void finish(Job& job) {
+    detail::BatchShared& state = *job.state;
+    try {
+      BatchReport& report = state.report;
+      report.cancelled_lanes = job.cancelled.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < report.lanes; ++i) {
+        if (report.errors[i].empty()) {
+          accumulate(report.totals, report.per_lane[i]);
+        } else {
+          ++report.failed_lanes;
+        }
+      }
+    } catch (...) {
+      state.error = std::current_exception();
+    }
+    inflight_jobs_.fetch_sub(1, std::memory_order_acq_rel);
+    fulfill(state);
+  }
+
+  struct MadeJob {
+    std::shared_ptr<Job> job;  // null for an empty batch (already ready)
+    std::shared_ptr<detail::BatchShared> state;
+  };
+
+  // Validation, report sizing, lane copy and plan resolution — everything a
+  // submission needs short of choosing where it executes (queue or inline).
+  MadeJob make_job(std::span<const Lane> lanes, std::size_t n,
+                   const BatchOptions& opts) {
+    ftfft::detail::require(n >= 1, "BatchEngine: size must be >= 1");
     for (const Lane& lane : lanes) {
-      detail::require(lane.in != nullptr,
+      ftfft::detail::require(lane.in != nullptr,
                       "BatchEngine: lane input must not be null");
     }
     // Injector::apply mutates armed-fault state; a single injector shared
     // by concurrently executing lanes would race. Per-lane injectors are
     // the supported way to fault a batch.
-    detail::require(opts.abft.injector == nullptr || lanes.size() <= 1 ||
+    ftfft::detail::require(opts.abft.injector == nullptr || lanes.size() <= 1 ||
                         num_threads_ == 1,
                     "BatchEngine: a batch-wide injector is not thread-safe; "
                     "use per-lane Lane::injector instead");
-    BatchReport report;
+
+    auto state = std::make_shared<detail::BatchShared>();
+    BatchReport& report = state->report;
     report.lanes = lanes.size();
     report.per_lane.resize(lanes.size());
     report.errors.resize(lanes.size());
     report.exceptions.resize(lanes.size());
-    if (lanes.empty()) return report;
+    if (lanes.empty()) {
+      state->ready = true;  // nothing to run; ready before anyone looks
+      return {nullptr, std::move(state)};
+    }
 
-    Job job;
-    job.lanes = lanes.data();
-    job.count = lanes.size();
-    job.n = n;
-    job.opts = &opts;
-    job.report = &report;
-    job.remaining.store(lanes.size(), std::memory_order_relaxed);
-    job.chunk = pick_chunk(lanes.size(), num_threads_, opts.chunk);
+    auto job = std::make_shared<Job>();
+    job->lanes.assign(lanes.begin(), lanes.end());
+    job->n = n;
+    job->opts = opts;
+    job->state = state;
+    job->remaining.store(lanes.size(), std::memory_order_relaxed);
+    job->chunk = pick_chunk(lanes.size(), num_threads_, opts.chunk);
 
-    // Resolve the ProtectionPlan(s) once for the whole batch — this is the
-    // batch-level checksum amortization: every lane shares the split, rA
-    // vectors and threshold coefficients instead of rebuilding them. The
-    // shared_ptrs pin the plans for the batch even if the LRU cache evicts
-    // them mid-flight. A resolution failure (unsupported size for the
-    // options) is reported per lane, matching the old per-lane throw.
+    // Resolve the ProtectionPlan(s) at submission time: on a warm cache
+    // (see ftfft::warm_plans) this is a lock + hash lookup, so submission
+    // cost is independent of n. A resolution failure (unsupported size for
+    // the options) is reported per lane, matching the old per-lane throw.
     bool need_oop = false;
     bool need_inplace = false;
     for (const Lane& lane : lanes) {
       (lane.out == nullptr ? need_inplace : need_oop) = true;
     }
-    std::shared_ptr<const abft::ProtectionPlan> plan_oop, plan_inplace;
     if (need_oop) {
       try {
-        plan_oop = abft::resolve_protection_plan(n, opts.abft, false);
-        job.plan = plan_oop.get();
+        job->plan = abft::resolve_protection_plan(n, opts.abft, false);
       } catch (...) {
-        job.plan_error = std::current_exception();
+        job->plan_error = std::current_exception();
       }
     }
     if (need_inplace) {
       try {
-        plan_inplace = abft::resolve_protection_plan(n, opts.abft, true);
-        job.plan_inplace = plan_inplace.get();
+        job->plan_inplace = abft::resolve_protection_plan(n, opts.abft, true);
       } catch (...) {
-        job.plan_inplace_error = std::current_exception();
+        job->plan_inplace_error = std::current_exception();
       }
     }
 
-    const bool parallel = num_threads_ > 1 && lanes.size() > 1;
-    if (parallel) {
-      spawn_workers();
-      {
-        std::scoped_lock lock(mu_);
-        job_ = &job;
-        ++generation_;
-      }
-      cv_work_.notify_all();
-    }
-    // The caller thread always participates using the reserved last arena.
-    drain(job, arenas_[num_threads_ - 1]);
-    if (parallel) {
-      std::unique_lock lock(mu_);
-      cv_done_.wait(lock, [&] {
-        return job.remaining.load(std::memory_order_acquire) == 0 &&
-               job.workers_inside.load(std::memory_order_acquire) == 0;
-      });
-      job_ = nullptr;
-    }
+    inflight_jobs_.fetch_add(1, std::memory_order_relaxed);
+    return {std::move(job), std::move(state)};
+  }
 
-    // Workers are quiescent past the cv_done_ wait, so the arenas are safe
-    // to touch from the caller; give each a chance to release staging that
-    // this batch left far below its high-water mark.
-    for (Arena& arena : arenas_) arena.end_batch();
-
-    for (std::size_t i = 0; i < report.lanes; ++i) {
-      if (report.errors[i].empty()) {
-        accumulate(report.totals, report.per_lane[i]);
+  BatchFuture submit(std::span<const Lane> lanes, std::size_t n,
+                     const BatchOptions& opts) {
+    MadeJob made = make_job(lanes, n, opts);
+    if (made.job == nullptr) return BatchFuture(std::move(made.state));
+    const std::size_t count = made.job->lanes.size();
+    const std::size_t chunk = made.job->chunk;
+    {
+      std::scoped_lock lock(mu_);
+      spawn_workers_locked();
+      if (tail_ == nullptr) {
+        head_ = made.job;
       } else {
-        ++report.failed_lanes;
+        tail_->next = made.job;
       }
+      tail_ = made.job.get();
     }
-    return report;
+    // Wake only as many workers as the job has chunks to claim — a stream
+    // of small jobs must not thundering-herd the whole pool awake. Workers
+    // already running re-check the queue before parking, so no job is ever
+    // stranded by waking too few.
+    const std::size_t wakes =
+        std::min(num_threads_, (count + chunk - 1) / chunk);
+    for (std::size_t i = 0; i < wakes; ++i) cv_work_.notify_one();
+    return BatchFuture(std::move(made.state));
+  }
+
+  // Blocking entry point. A single lane that needs no staging (the
+  // single-shot protected_fft / transform_one shape) bypasses the queue
+  // entirely: the caller thread runs the job itself through the exact
+  // worker path (work_on -> run_lane -> finish), so single-shot latency
+  // pays no cross-thread dispatch and does not sit behind queued batches.
+  // The scratch arena is provably untouched (run_lane stages only under
+  // preserve_inputs or aliased in/out), which is what makes the inline run
+  // safe next to concurrent submitters without sharing worker arenas.
+  BatchReport run_sync(std::span<const Lane> lanes, std::size_t n,
+                       const BatchOptions& opts) {
+    const bool inline_eligible =
+        lanes.size() == 1 && !opts.preserve_inputs &&
+        lanes[0].out != lanes[0].in;
+    if (!inline_eligible) return submit(lanes, n, opts).get();
+    MadeJob made = make_job(lanes, n, opts);
+    Arena scratch;  // never grows: the lane qualifies as staging-free
+    work_on(*made.job, scratch);
+    return BatchFuture(std::move(made.state)).get();
   }
 
   [[nodiscard]] std::size_t staging_capacity() const {
@@ -315,12 +524,12 @@ struct BatchEngine::Impl {
   const std::size_t num_threads_;
   std::vector<Arena> arenas_;
   std::vector<std::thread> workers_;
+  std::atomic<std::size_t> inflight_jobs_{0};
 
   std::mutex mu_;
   std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  Job* job_ = nullptr;
-  std::uint64_t generation_ = 0;
+  std::shared_ptr<Job> head_;  // FIFO front; jobs pop when fully claimed
+  Job* tail_ = nullptr;
   bool stop_ = false;
 };
 
@@ -333,26 +542,36 @@ std::size_t BatchEngine::num_threads() const noexcept {
   return impl_->num_threads_;
 }
 
+std::size_t BatchEngine::pending_jobs() const noexcept {
+  return impl_->inflight_jobs_.load(std::memory_order_acquire);
+}
+
 std::size_t BatchEngine::staging_capacity() const {
   return impl_->staging_capacity();
+}
+
+BatchFuture BatchEngine::submit_batch(std::span<const Lane> lanes,
+                                      std::size_t n,
+                                      const BatchOptions& opts) {
+  return impl_->submit(lanes, n, opts);
+}
+
+BatchFuture BatchEngine::submit_batch(cplx* in, cplx* out, std::size_t n,
+                                      std::size_t count,
+                                      const BatchOptions& opts) {
+  return impl_->submit(pack_lanes(in, out, n, count), n, opts);
 }
 
 BatchReport BatchEngine::transform_batch(std::span<const Lane> lanes,
                                          std::size_t n,
                                          const BatchOptions& opts) {
-  return impl_->run(lanes, n, opts);
+  return impl_->run_sync(lanes, n, opts);
 }
 
 BatchReport BatchEngine::transform_batch(cplx* in, cplx* out, std::size_t n,
                                          std::size_t count,
                                          const BatchOptions& opts) {
-  detail::require(in != nullptr, "BatchEngine: batch input must not be null");
-  std::vector<Lane> lanes(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    lanes[i].in = in + i * n;
-    lanes[i].out = out == nullptr ? nullptr : out + i * n;
-  }
-  return impl_->run(lanes, n, opts);
+  return impl_->run_sync(pack_lanes(in, out, n, count), n, opts);
 }
 
 abft::Stats BatchEngine::transform_one(cplx* in, cplx* out, std::size_t n,
@@ -360,7 +579,7 @@ abft::Stats BatchEngine::transform_one(cplx* in, cplx* out, std::size_t n,
   Lane lane{in, out, nullptr};
   BatchOptions batch_opts;
   batch_opts.abft = opts;
-  BatchReport report = impl_->run({&lane, 1}, n, batch_opts);
+  BatchReport report = impl_->run_sync({&lane, 1}, n, batch_opts);
   // Rethrow the lane's original exception so single-shot callers keep the
   // documented taxonomy (invalid_argument for misuse, UncorrectableError
   // for fault-model violations).

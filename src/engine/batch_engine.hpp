@@ -1,29 +1,40 @@
-// Batched multi-threaded execution of protected transforms.
+// Queued, multi-threaded execution of protected transforms.
 //
 // The paper's online ABFT scheme protects one transform at a time; a
 // production deployment runs many independent transforms ("lanes") in
-// flight at once. BatchEngine owns a small pool of worker threads and a
-// chunked dynamic scheduler: lanes are claimed from a shared atomic cursor
-// in contiguous chunks, so fast workers naturally steal the load of slow
-// ones (a lane that needs fault-correction retries costs more than a clean
-// lane and the imbalance is absorbed without static partitioning).
+// flight at once, and a serving layer on top of it cannot afford to block
+// a request thread for every batch. BatchEngine therefore separates
+// submission from completion: submit_batch() validates a batch, resolves
+// its shared ProtectionPlan(s), appends a heap-owned job to an intrusive
+// FIFO work queue and immediately returns a BatchFuture. A persistent pool
+// of worker threads pulls lanes across all queued jobs — lanes of a job
+// are claimed from its atomic cursor in contiguous chunks, and a worker
+// that exhausts the front job's cursor moves on to the next job while
+// stragglers finish the previous one, so checksum setup, transform and
+// verification of consecutive batches overlap (the CPU analogue of
+// TurboFFT's pipelined batching). The blocking transform_batch() and
+// transform_one() are thin wrappers that submit and wait; there is exactly
+// one execution path.
 //
 // Shared, immutable state (decomposition plans, twiddle tables, and the
 // ABFT ProtectionPlan with its checksum vectors and threshold coefficients)
-// is resolved once per batch through the process-wide LRU-bounded plan
-// caches and handed to every lane by reference, so per-lane setup is O(1);
-// per-thread mutable state (staging copies of lane inputs) lives in a
-// per-worker aligned arena that grows to its batch high-water mark, is
-// reused across lanes and batches, and is trimmed back after consecutive
-// batches that stay far below that mark. Per-lane abft::Stats land in
-// pre-sized slots, so workers never contend on shared counters.
+// is resolved once per job at submission time through the process-wide
+// LRU-bounded plan caches — a warm cache makes submission O(lanes) pointer
+// work — and handed to every lane by reference. Per-thread mutable state
+// (staging copies of lane inputs) lives in a per-worker aligned arena that
+// grows to its job high-water mark, is reused across lanes and jobs, and
+// is trimmed back after consecutive jobs that stay far below that mark.
+// Per-lane abft::Stats land in pre-sized slots, so workers never contend
+// on shared counters.
 //
 // A lane that throws (UncorrectableError when the fault model is exceeded)
 // is recorded in the report and does not disturb the other lanes.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -34,6 +45,10 @@
 #include "fault/injector.hpp"
 
 namespace ftfft::engine {
+
+namespace detail {
+struct BatchShared;  // completion state shared by job, future and ticket
+}  // namespace detail
 
 /// One transform in a batch. All lanes in a batch share the same size and
 /// protection options; in/out buffers must not overlap between lanes.
@@ -64,31 +79,102 @@ struct BatchOptions {
 /// What the fault tolerance did across a whole batch.
 struct BatchReport {
   std::size_t lanes = 0;         ///< lanes submitted
-  std::size_t failed_lanes = 0;  ///< lanes whose transform threw
+  std::size_t failed_lanes = 0;  ///< lanes whose transform threw or was
+                                 ///< cancelled
+  std::size_t cancelled_lanes = 0;  ///< lanes skipped by BatchTicket::cancel
+                                    ///< (also counted in failed_lanes)
   abft::Stats totals;            ///< element-wise sum over per_lane
   std::vector<abft::Stats> per_lane;
   /// Empty string = lane succeeded; otherwise the exception message.
   std::vector<std::string> errors;
   /// The original exception per failed lane (null when the lane
   /// succeeded), so callers can preserve the library's error taxonomy
-  /// (UncorrectableError vs std::invalid_argument) instead of parsing
-  /// messages.
+  /// (UncorrectableError vs std::invalid_argument vs CancelledError)
+  /// instead of parsing messages.
   std::vector<std::exception_ptr> exceptions;
 
   [[nodiscard]] bool all_ok() const noexcept { return failed_lanes == 0; }
 };
 
+/// Cancellation handle for a submitted batch. Copyable and cheap; cancel()
+/// marks the job so lanes that have not started yet are skipped (recorded
+/// as CancelledError in the report) — lanes already executing run to
+/// completion, and the BatchFuture still becomes ready with the partial
+/// report. Cancelling a finished job is a harmless no-op.
+class BatchTicket {
+ public:
+  BatchTicket() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return shared_ != nullptr; }
+  void cancel() const noexcept;
+  [[nodiscard]] bool cancelled() const noexcept;
+
+ private:
+  friend class BatchFuture;
+  explicit BatchTicket(std::shared_ptr<detail::BatchShared> shared);
+
+  std::shared_ptr<detail::BatchShared> shared_;
+};
+
+/// Completion handle for a submitted batch: wait/get the BatchReport or
+/// the submission-level exception, or register a callback. Movable and
+/// copyable (all copies observe the same completion); get() hands out the
+/// report once and invalidates this handle, like std::future.
+class BatchFuture {
+ public:
+  BatchFuture() = default;  ///< invalid until assigned from submit_batch
+
+  [[nodiscard]] bool valid() const noexcept { return shared_ != nullptr; }
+
+  /// True once the report (or exception) is available. Throws
+  /// std::invalid_argument on an invalid future.
+  [[nodiscard]] bool ready() const;
+
+  /// Blocks until the batch completes.
+  void wait() const;
+
+  /// Blocks up to `timeout`; returns ready().
+  bool wait_for(std::chrono::nanoseconds timeout) const;
+
+  /// Blocks until completion, then moves the report out (rethrows the
+  /// submission-level exception instead if the job was aborted wholesale).
+  /// One-shot: the future becomes invalid afterwards.
+  BatchReport get();
+
+  /// Registers `cb` to run once the batch completes, receiving the report
+  /// (lane failures included — inspect report.failed_lanes). Runs on the
+  /// worker thread that retires the job, or inline when already ready;
+  /// callbacks registered before completion have finished by the time
+  /// wait()/get() return, and registering after get() consumed the report
+  /// throws. Callbacks must not throw, must not call methods on this
+  /// future, and must not block on this engine's other futures (the worker
+  /// running them is needed to make progress).
+  void then(std::function<void(BatchReport&)> cb);
+
+  /// Cancellation handle for this submission; outlives get().
+  [[nodiscard]] BatchTicket ticket() const;
+
+ private:
+  friend class BatchEngine;
+  explicit BatchFuture(std::shared_ptr<detail::BatchShared> shared);
+
+  std::shared_ptr<detail::BatchShared> shared_;
+};
+
 /// Reusable multi-threaded engine for batches of protected transforms.
 ///
-/// Workers are spawned lazily on the first batch with more than one lane
-/// and parked on a condition variable between batches, so an engine is
-/// cheap to construct and a batch of one runs inline on the caller's
-/// thread (which is how the single-shot API delegates here without paying
-/// for a dispatch). One engine instance must not be used from two threads
-/// at once; plans and twiddles it touches are process-wide and shared.
+/// Workers are spawned lazily on the first submission and parked on a
+/// condition variable while the queue is empty, so an engine is cheap to
+/// construct. Submission is thread-safe: any number of threads may call
+/// submit_batch / transform_batch concurrently; jobs are executed in FIFO
+/// claim order and may complete out of order (a small job queued behind a
+/// large one finishes as soon as its lanes are done). Destroying the
+/// engine drains the queue: every submitted job runs to completion and
+/// every future is fulfilled before the destructor returns.
 class BatchEngine {
  public:
-  /// num_threads = 0 picks std::thread::hardware_concurrency().
+  /// num_threads = 0 honors FTFFT_ENGINE_THREADS, then falls back to
+  /// std::thread::hardware_concurrency().
   explicit BatchEngine(std::size_t num_threads = 0);
   ~BatchEngine();
 
@@ -97,35 +183,54 @@ class BatchEngine {
 
   [[nodiscard]] std::size_t num_threads() const noexcept;
 
+  /// Jobs submitted but not yet completed (queued or executing).
+  [[nodiscard]] std::size_t pending_jobs() const noexcept;
+
   /// Total staging currently held across the per-worker arenas, in complex
   /// elements. Arenas grow to the largest lane staged through them and are
-  /// trimmed back after consecutive batches whose demand stayed far below
+  /// trimmed back after consecutive jobs whose demand stayed far below
   /// that high-water mark; exposed for tests and memory monitoring. Only
-  /// meaningful while no batch is in flight.
+  /// meaningful while no job is in flight.
   [[nodiscard]] std::size_t staging_capacity() const;
 
-  /// Runs the protected n-point transform on every lane concurrently.
-  /// Lane failures are reported, not thrown; misuse (n == 0, null lane
-  /// pointers) throws std::invalid_argument before any work starts. A
+  /// Queues the protected n-point transform of every lane and returns
+  /// immediately. The lane descriptors are copied; the in/out buffers they
+  /// point to must stay alive until the future is ready. Lane failures are
+  /// reported, not thrown; misuse (n == 0, null lane pointers) throws
+  /// std::invalid_argument synchronously before anything is queued. A
   /// batch-wide injector (opts.abft.injector) mutates per-fault state on
   /// apply and is therefore rejected for multi-lane batches on a
   /// multi-thread engine — schedule per-lane injectors instead.
-  BatchReport transform_batch(std::span<const Lane> lanes, std::size_t n,
-                              const BatchOptions& opts = {});
+  BatchFuture submit_batch(std::span<const Lane> lanes, std::size_t n,
+                           const BatchOptions& opts = {});
 
   /// Convenience: `count` lanes packed contiguously, lane L reading
   /// in + L*n and writing out + L*n (out == nullptr → in place).
+  BatchFuture submit_batch(cplx* in, cplx* out, std::size_t n,
+                           std::size_t count, const BatchOptions& opts = {});
+
+  /// Blocking convenience: submit_batch(...).get(), with one shortcut — a
+  /// single lane that needs no staging (no preserve_inputs, out != in)
+  /// runs inline on the calling thread through the same worker code path,
+  /// so single-shot calls pay no queue dispatch and never wait behind
+  /// batches queued by other threads.
+  BatchReport transform_batch(std::span<const Lane> lanes, std::size_t n,
+                              const BatchOptions& opts = {});
+
+  /// Blocking convenience over the contiguous layout.
   BatchReport transform_batch(cplx* in, cplx* out, std::size_t n,
                               std::size_t count,
                               const BatchOptions& opts = {});
 
-  /// Single-shot protected transform: a batch of one, run inline.
+  /// Single-shot protected transform: a blocking batch of one (runs inline
+  /// on the caller for out != in — see transform_batch).
   abft::Stats transform_one(cplx* in, cplx* out, std::size_t n,
                             const abft::Options& opts = {});
 
-  /// Process-wide shared engine (hardware_concurrency workers) used by the
-  /// single-shot convenience wrappers. Serialize access externally if you
-  /// submit batches to it from multiple threads.
+  /// Process-wide shared engine used by the single-shot convenience
+  /// wrappers and ftfft::submit_batch. Worker count from
+  /// FTFFT_ENGINE_THREADS (default: hardware_concurrency). Safe to submit
+  /// to from multiple threads.
   static BatchEngine& shared();
 
  private:

@@ -131,12 +131,28 @@ void InplaceRadix2Plan::inverse(cplx* data) const {
   for (std::size_t i = 0; i < n_; ++i) data[i] *= inv_n;
 }
 
-std::shared_ptr<const InplaceRadix2Plan> InplaceRadix2Plan::get(
-    std::size_t n) {
+namespace {
+
+PlanRegistry<std::size_t, InplaceRadix2Plan>& inplace_registry() {
   // LRU-bounded by FTFFT_PLAN_CACHE_CAP, like every other plan cache.
   static PlanRegistry<std::size_t, InplaceRadix2Plan> registry(
       plan_cache_capacity());
-  return registry.get_or_build(
+  return registry;
+}
+
+// Enroll in plan_cache_stats() before main. The lambda is lazy on purpose:
+// the registry (and its FTFFT_PLAN_CACHE_CAP read) is only materialized at
+// first use or first stats call, never during static initialization.
+const bool inplace_registry_registered =
+    (ftfft::detail::register_plan_cache(
+         [] { return inplace_registry().snapshot("inplace-plan"); }),
+     true);
+
+}  // namespace
+
+std::shared_ptr<const InplaceRadix2Plan> InplaceRadix2Plan::get(
+    std::size_t n) {
+  return inplace_registry().get_or_build(
       n, [n] { return std::make_shared<const InplaceRadix2Plan>(n); });
 }
 

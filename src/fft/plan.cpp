@@ -95,13 +95,29 @@ std::shared_ptr<const PlanNode> build_plan(std::size_t n) {
 
 }  // namespace
 
+namespace {
+
+PlanRegistry<std::size_t, PlanNode>& plan_registry() {
+  static PlanRegistry<std::size_t, PlanNode> registry(plan_cache_capacity());
+  return registry;
+}
+
+// Enroll in plan_cache_stats() before main. The lambda is lazy on purpose:
+// the registry (and its FTFFT_PLAN_CACHE_CAP read) is only materialized at
+// first use or first stats call, never during static initialization.
+const bool plan_registry_registered =
+    (ftfft::detail::register_plan_cache(
+         [] { return plan_registry().snapshot("fft-plan"); }),
+     true);
+
+}  // namespace
+
 std::shared_ptr<const PlanNode> make_plan(std::size_t n) {
   // LRU-bounded by FTFFT_PLAN_CACHE_CAP; the builder runs outside the
   // registry lock because plan construction may be slow for large n.
   // Eviction of a root node releases its whole subtree (sub-plans are not
   // cached individually).
-  static PlanRegistry<std::size_t, PlanNode> registry(plan_cache_capacity());
-  return registry.get_or_build(n, [n] { return build_plan(n); });
+  return plan_registry().get_or_build(n, [n] { return build_plan(n); });
 }
 
 std::string describe_plan(const PlanNode& node) {
