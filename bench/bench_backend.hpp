@@ -1,0 +1,21 @@
+// Shared helper for the Google-benchmark micro benches: pins the SIMD
+// backend for one benchmark run (scalar reference vs the dispatched choice)
+// and reports the backend that actually ran in the label column, so
+// scalar-vs-dispatched rows are self-describing. "Dispatched" re-resolves
+// the environment, so FTFFT_SIMD=... ./bench_micro_* forces those rows just
+// like it forces the library default.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "simd/dispatch.hpp"
+
+namespace ftfft::bench {
+
+inline void use_backend(benchmark::State& state, bool dispatched) {
+  simd::set_backend(dispatched ? simd::detail::resolve_from_env()
+                               : simd::Backend::kScalar);
+  state.SetLabel(simd::simd_backend_name());
+}
+
+}  // namespace ftfft::bench

@@ -25,6 +25,7 @@
 #include "common/rng.hpp"
 #include "core/ftfft.hpp"
 #include "fft/inplace_radix2.hpp"
+#include "simd/dispatch.hpp"
 
 namespace {
 
@@ -82,8 +83,8 @@ int main() {
   }
 
   std::printf("batch: %zu lanes x %zu-point online-protected FFTs "
-              "(hardware_concurrency = %u)\n\n",
-              lanes, n, hw);
+              "(hardware_concurrency = %u, SIMD backend: %s)\n\n",
+              lanes, n, hw, simd::simd_backend_name());
 
   const double t_serial = serial_seconds(inputs, n, reps);
   TablePrinter table({"config", "time (ms)", "transforms/s", "speedup"});

@@ -1,10 +1,15 @@
 // Google-benchmark microbenchmarks of the checksum primitives: these are
 // the per-element costs behind the section-7 op-count model.
+//
+// The stride-1 dot products dispatch to the active SIMD backend; the
+// *_scalar vs *_dispatched variants measure the reference chain against the
+// vector kernels (label column = backend that actually ran).
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
 #include "abft/dmr.hpp"
+#include "bench_backend.hpp"
 #include "checksum/dot.hpp"
 #include "checksum/weights.hpp"
 #include "common/rng.hpp"
@@ -12,8 +17,10 @@
 namespace {
 
 using namespace ftfft;
+using ftfft::bench::use_backend;
 
-void BM_WeightedSum(benchmark::State& state) {
+void BM_WeightedSum(benchmark::State& state, bool dispatched) {
+  use_backend(state, dispatched);
   const auto n = static_cast<std::size_t>(state.range(0));
   auto x = random_vector(n, InputDistribution::kUniform, 1);
   auto w = checksum::input_checksum_vector(n,
@@ -24,9 +31,15 @@ void BM_WeightedSum(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_WeightedSum)->RangeMultiplier(16)->Range(1 << 10, 1 << 18);
+BENCHMARK_CAPTURE(BM_WeightedSum, scalar, false)
+    ->RangeMultiplier(16)
+    ->Range(1 << 10, 1 << 18);
+BENCHMARK_CAPTURE(BM_WeightedSum, dispatched, true)
+    ->RangeMultiplier(16)
+    ->Range(1 << 10, 1 << 18);
 
-void BM_DualWeightedSum(benchmark::State& state) {
+void BM_DualWeightedSum(benchmark::State& state, bool dispatched) {
+  use_backend(state, dispatched);
   const auto n = static_cast<std::size_t>(state.range(0));
   auto x = random_vector(n, InputDistribution::kUniform, 2);
   auto w = checksum::input_checksum_vector(n,
@@ -38,9 +51,49 @@ void BM_DualWeightedSum(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_DualWeightedSum)->RangeMultiplier(16)->Range(1 << 10, 1 << 18);
+BENCHMARK_CAPTURE(BM_DualWeightedSum, scalar, false)
+    ->RangeMultiplier(16)
+    ->Range(1 << 10, 1 << 18);
+BENCHMARK_CAPTURE(BM_DualWeightedSum, dispatched, true)
+    ->RangeMultiplier(16)
+    ->Range(1 << 10, 1 << 18);
+
+void BM_DualPlainSumRobust(benchmark::State& state, bool dispatched) {
+  use_backend(state, dispatched);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_vector(n, InputDistribution::kNormal, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checksum::dual_plain_sum_robust(x.data(), n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_DualPlainSumRobust, scalar, false)
+    ->RangeMultiplier(16)
+    ->Range(1 << 10, 1 << 18);
+BENCHMARK_CAPTURE(BM_DualPlainSumRobust, dispatched, true)
+    ->RangeMultiplier(16)
+    ->Range(1 << 10, 1 << 18);
+
+void BM_Energy(benchmark::State& state, bool dispatched) {
+  use_backend(state, dispatched);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_vector(n, InputDistribution::kUniform, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checksum::energy(x.data(), n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_Energy, scalar, false)
+    ->RangeMultiplier(16)
+    ->Range(1 << 10, 1 << 18);
+BENCHMARK_CAPTURE(BM_Energy, dispatched, true)
+    ->RangeMultiplier(16)
+    ->Range(1 << 10, 1 << 18);
 
 void BM_Omega3Sum(benchmark::State& state) {
+  use_backend(state, true);
   const auto n = static_cast<std::size_t>(state.range(0));
   auto x = random_vector(n, InputDistribution::kUniform, 3);
   for (auto _ : state) {

@@ -1,5 +1,10 @@
 // Google-benchmark microbenchmarks of the FFT substrate and the protected
 // transforms: per-size throughput of the engines every harness builds on.
+//
+// The FFT kernels run through the SIMD dispatcher (src/simd): the *_scalar
+// variants force the scalar reference backend, the *_dispatched variants run
+// whatever runtime detection picks (the label column shows which), so the
+// single-lane SIMD speedup is the ratio of the two rows at equal size.
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -7,6 +12,7 @@
 #include "abft/options.hpp"
 #include "abft/inplace.hpp"
 #include "abft/protected_fft.hpp"
+#include "bench_backend.hpp"
 #include "common/rng.hpp"
 #include "fft/fft.hpp"
 #include "fft/inplace_radix2.hpp"
@@ -14,8 +20,10 @@
 namespace {
 
 using namespace ftfft;
+using ftfft::bench::use_backend;
 
-void BM_FftForward(benchmark::State& state) {
+void BM_FftForward(benchmark::State& state, bool dispatched) {
+  use_backend(state, dispatched);
   const auto n = static_cast<std::size_t>(state.range(0));
   auto x = random_vector(n, InputDistribution::kUniform, 1);
   std::vector<cplx> out(n);
@@ -27,9 +35,15 @@ void BM_FftForward(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_FftForward)->RangeMultiplier(4)->Range(1 << 10, 1 << 18);
+BENCHMARK_CAPTURE(BM_FftForward, scalar, false)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 20);
+BENCHMARK_CAPTURE(BM_FftForward, dispatched, true)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 20);
 
-void BM_FftInplaceRadix2(benchmark::State& state) {
+void BM_FftInplaceRadix2(benchmark::State& state, bool dispatched) {
+  use_backend(state, dispatched);
   const auto n = static_cast<std::size_t>(state.range(0));
   auto x = random_vector(n, InputDistribution::kUniform, 2);
   const auto plan = fft::InplaceRadix2Plan::get(n);
@@ -40,9 +54,15 @@ void BM_FftInplaceRadix2(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_FftInplaceRadix2)->RangeMultiplier(4)->Range(1 << 10, 1 << 18);
+BENCHMARK_CAPTURE(BM_FftInplaceRadix2, scalar, false)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 20);
+BENCHMARK_CAPTURE(BM_FftInplaceRadix2, dispatched, true)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 20);
 
 void BM_FftBluestein(benchmark::State& state) {
+  use_backend(state, true);
   // Large prime: exercises the chirp-z path.
   const std::size_t n = 4099;
   auto x = random_vector(n, InputDistribution::kUniform, 3);
@@ -56,6 +76,7 @@ void BM_FftBluestein(benchmark::State& state) {
 BENCHMARK(BM_FftBluestein);
 
 void protected_bench(benchmark::State& state, const abft::Options& opts) {
+  use_backend(state, true);
   const auto n = static_cast<std::size_t>(state.range(0));
   auto x = random_vector(n, InputDistribution::kUniform, 4);
   std::vector<cplx> out(n);
@@ -84,6 +105,7 @@ BENCHMARK(BM_OnlineComp)->RangeMultiplier(4)->Range(1 << 12, 1 << 18);
 BENCHMARK(BM_OnlineMem)->RangeMultiplier(4)->Range(1 << 12, 1 << 18);
 
 void BM_InplaceOnline(benchmark::State& state) {
+  use_backend(state, true);
   const auto n = static_cast<std::size_t>(state.range(0));
   auto x = random_vector(n, InputDistribution::kUniform, 5);
   for (auto _ : state) {

@@ -1,11 +1,21 @@
 #include "checksum/dot.hpp"
 
 #include "common/math_util.hpp"
+#include "simd/dispatch.hpp"
+
+// Stride-1 calls — the per-layer verification hot path of the online scheme —
+// go through the dispatched SIMD kernels (simd/kernels_impl.hpp); the strided
+// loops below are the general fallback and the readable statement of each
+// primitive's semantics. Both sides split long reductions across independent
+// accumulators, so summation order differs from a naive single chain (and
+// between backends); the detection thresholds model exactly this kind of
+// round-off (see dot.hpp and roundoff/model.hpp).
 
 namespace ftfft::checksum {
 
 cplx weighted_sum(const cplx* w, const cplx* x, std::size_t n,
                   std::size_t stride) {
+  if (stride == 1) return simd::checksum_kernels().weighted_sum(w, x, n);
   cplx acc{0.0, 0.0};
   for (std::size_t j = 0; j < n; ++j) {
     acc += cmul(w[j], x[j * stride]);
@@ -15,6 +25,7 @@ cplx weighted_sum(const cplx* w, const cplx* x, std::size_t n,
 
 DualSum dual_weighted_sum(const cplx* w, const cplx* x, std::size_t n,
                           std::size_t stride) {
+  if (stride == 1) return simd::checksum_kernels().dual_weighted_sum(w, x, n);
   DualSum out;
   if (w == nullptr) {
     for (std::size_t j = 0; j < n; ++j) {
@@ -33,13 +44,23 @@ DualSum dual_weighted_sum(const cplx* w, const cplx* x, std::size_t n,
 }
 
 double energy(const cplx* x, std::size_t n, std::size_t stride) {
-  double acc = 0.0;
-  for (std::size_t j = 0; j < n; ++j) acc += norm2(x[j * stride]);
-  return acc;
+  if (stride == 1) return simd::checksum_kernels().energy(x, n);
+  // Two accumulators even on the strided path: one chain would serialize the
+  // loop on floating-point add latency.
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    acc0 += norm2(x[j * stride]);
+    acc1 += norm2(x[(j + 1) * stride]);
+  }
+  if (j < n) acc0 += norm2(x[j * stride]);
+  return acc0 + acc1;
 }
 
 DualSumRobust dual_plain_sum_robust(const cplx* x, std::size_t n,
                                     std::size_t stride) {
+  if (stride == 1) return simd::checksum_kernels().dual_plain_sum_robust(x, n);
   DualSumRobust out;
   std::size_t top_idx = 0;
   for (std::size_t j = 0; j < n; ++j) {
@@ -55,13 +76,20 @@ DualSumRobust dual_plain_sum_robust(const cplx* x, std::size_t n,
   // Second (cache-hot) pass summing everything but the top contributor: a
   // huge outlier would absorb the rest of the sum in floating point, so
   // subtracting it afterwards cannot work — exclude it instead.
-  for (std::size_t j = 0; j < n; ++j) {
-    if (j != top_idx) out.energy += norm2(x[j * stride]);
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    if (j != top_idx) acc0 += norm2(x[j * stride]);
+    if (j + 1 != top_idx) acc1 += norm2(x[(j + 1) * stride]);
   }
+  if (j < n && j != top_idx) acc0 += norm2(x[j * stride]);
+  out.energy = acc0 + acc1;
   return out;
 }
 
 double robust_energy(const cplx* x, std::size_t n, std::size_t stride) {
+  if (stride == 1) return simd::checksum_kernels().robust_energy(x, n);
   // Exclude the single largest contribution while summing (see
   // dual_plain_sum_robust for why subtract-after does not work): find the
   // top element first, then sum the rest.
@@ -74,14 +102,19 @@ double robust_energy(const cplx* x, std::size_t n, std::size_t stride) {
       top_idx = j;
     }
   }
-  double acc = 0.0;
-  for (std::size_t j = 0; j < n; ++j) {
-    if (j != top_idx) acc += norm2(x[j * stride]);
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    if (j != top_idx) acc0 += norm2(x[j * stride]);
+    if (j + 1 != top_idx) acc1 += norm2(x[(j + 1) * stride]);
   }
-  return acc;
+  if (j < n && j != top_idx) acc0 += norm2(x[j * stride]);
+  return acc0 + acc1;
 }
 
 cplx omega3_weighted_sum(const cplx* x, std::size_t n, std::size_t stride) {
+  if (stride == 1) return simd::checksum_kernels().omega3_weighted_sum(x, n);
   cplx b0{0.0, 0.0}, b1{0.0, 0.0}, b2{0.0, 0.0};
   std::size_t j = 0;
   for (; j + 3 <= n; j += 3) {
@@ -96,6 +129,7 @@ cplx omega3_weighted_sum(const cplx* x, std::size_t n, std::size_t stride) {
 
 SumEnergy weighted_sum_energy(const cplx* w, const cplx* x, std::size_t n,
                               std::size_t stride) {
+  if (stride == 1) return simd::checksum_kernels().weighted_sum_energy(w, x, n);
   SumEnergy out;
   for (std::size_t j = 0; j < n; ++j) {
     const cplx v = x[j * stride];
@@ -107,6 +141,9 @@ SumEnergy weighted_sum_energy(const cplx* w, const cplx* x, std::size_t n,
 
 DualSumEnergy dual_weighted_sum_energy(const cplx* w, const cplx* x,
                                        std::size_t n, std::size_t stride) {
+  if (stride == 1) {
+    return simd::checksum_kernels().dual_weighted_sum_energy(w, x, n);
+  }
   DualSumEnergy out;
   if (w == nullptr) {
     for (std::size_t j = 0; j < n; ++j) {

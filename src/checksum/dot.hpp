@@ -5,6 +5,16 @@
 // sum_j j * w_j * x_j computed in the same pass (section 4.1 combines both
 // so the dual sum reuses the product w_j * x_j, costing 4 extra real ops per
 // element instead of a second full pass).
+//
+// Summation order: stride-1 calls dispatch to the active SIMD backend
+// (src/simd), and every backend — including the scalar reference — splits
+// the reduction across multiple independent accumulators to break the
+// floating-point add dependency chain. Results therefore differ from a
+// naive left-to-right sum (and between backends) by ordinary re-association
+// round-off, O(eps * sum |terms|). The detection thresholds derived in
+// roundoff/model.hpp already bound accumulation error of this shape with a
+// safety margin, so the eta coefficients hold unchanged under any backend,
+// including FMA-contracted ones.
 #pragma once
 
 #include <cstddef>

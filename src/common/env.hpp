@@ -4,6 +4,10 @@
 // trees, in-place plans, checksum weight vectors, ABFT ProtectionPlans) to
 // that many entries each, evicted least-recently-used; 0 removes the bound.
 //
+// FTFFT_SIMD forces the SIMD kernel backend ("scalar" | "avx2" | "neon");
+// unset or unavailable values fall back to runtime detection. Read at first
+// kernel dispatch by src/simd/dispatch.cpp.
+//
 // FTFFT_ENGINE_THREADS sets the worker count of every engine::BatchEngine
 // constructed with num_threads = 0 — including the process-wide shared()
 // engine behind the single-shot wrappers — so tests, CI and co-tenant

@@ -1,0 +1,19 @@
+// Exact-constant twiddles shared by the scalar codelets (dft/codelets.cpp)
+// and the vectorized butterfly kernels (src/simd). sqrt(2)/2 and the pentagon
+// constants are spelled to full double precision so repeated transforms do
+// not drift, and so every backend multiplies by bit-identical constants.
+#pragma once
+
+namespace ftfft::dft {
+
+inline constexpr double kHalfSqrt3 = 0.8660254037844386467637231707529362;
+inline constexpr double kHalfSqrt2 = 0.7071067811865475244008443621048490;
+inline constexpr double kCos2Pi5 = 0.3090169943749474241022934171828191;
+inline constexpr double kCos4Pi5 = -0.8090169943749474241022934171828191;
+inline constexpr double kSin2Pi5 = 0.9510565162951535721164393333793821;
+inline constexpr double kSin4Pi5 = 0.5877852522924731291687059546390728;
+// cos/sin(2 pi k/16) for k = 1..3.
+inline constexpr double kCosPi8 = 0.9238795325112867561281831893967882;
+inline constexpr double kSinPi8 = 0.3826834323650897717284599840303989;
+
+}  // namespace ftfft::dft

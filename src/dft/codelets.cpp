@@ -6,21 +6,11 @@
 #include <vector>
 
 #include "common/math_util.hpp"
+#include "dft/codelet_constants.hpp"
+#include "simd/dispatch.hpp"
 
 namespace ftfft::dft {
 namespace {
-
-// Exact-constant twiddles. sqrt(2)/2 and the pentagon constants are spelled
-// to full double precision so repeated transforms do not drift.
-constexpr double kHalfSqrt3 = 0.8660254037844386467637231707529362;
-constexpr double kHalfSqrt2 = 0.7071067811865475244008443621048490;
-constexpr double kCos2Pi5 = 0.3090169943749474241022934171828191;
-constexpr double kCos4Pi5 = -0.8090169943749474241022934171828191;
-constexpr double kSin2Pi5 = 0.9510565162951535721164393333793821;
-constexpr double kSin4Pi5 = 0.5877852522924731291687059546390728;
-// cos/sin(2 pi k/16) for k = 1..3.
-constexpr double kCosPi8 = 0.9238795325112867561281831893967882;
-constexpr double kSinPi8 = 0.3826834323650897717284599840303989;
 
 void dft1(const cplx* in, std::size_t, cplx* out, std::size_t) {
   out[0] = in[0];
@@ -187,15 +177,36 @@ void codelet_dft(std::size_t n, const cplx* in, std::size_t is, cplx* out,
       dft3(in, is, out, os);
       return;
     case 4:
+      // Sizes 4/8/16 with contiguous output go to the dispatched vector
+      // codelet when the active backend has one (scalar/NEON leave these
+      // null and fall through to the unrolled scalar kernels).
+      if (os == 1) {
+        if (auto* k = simd::fft_kernels().dft4) {
+          k(in, is, out);
+          return;
+        }
+      }
       dft4(in, is, out, os);
       return;
     case 5:
       dft5(in, is, out, os);
       return;
     case 8:
+      if (os == 1) {
+        if (auto* k = simd::fft_kernels().dft8) {
+          k(in, is, out);
+          return;
+        }
+      }
       dft8(in, is, out, os);
       return;
     case 16:
+      if (os == 1) {
+        if (auto* k = simd::fft_kernels().dft16) {
+          k(in, is, out);
+          return;
+        }
+      }
       dft16(in, is, out, os);
       return;
     default:

@@ -1,15 +1,10 @@
 #include "fft/executor.hpp"
 
-#include <cassert>
-
 #include "dft/codelets.hpp"
+#include "simd/dispatch.hpp"
 
 namespace ftfft::fft {
 namespace {
-
-// Upper bound on the combine radix; kRadixPreference in plan.cpp tops out at
-// 16 and generic codelets at 32, both far below this.
-constexpr std::size_t kMaxRadix = 64;
 
 void exec_bluestein(const PlanNode& node, const cplx* in, std::size_t is,
                     cplx* out, std::size_t os, cplx* scratch) {
@@ -50,6 +45,27 @@ void execute_plan(const PlanNode& node, const cplx* in, std::size_t is,
 
   const std::size_t r = node.radix;
   const std::size_t m = node.n / r;
+
+  // Two consecutive radix-2 levels fuse into one radix-4 pass, mirroring the
+  // in-place kernel's fused schedule: run the four n/4-point grandchild
+  // sub-transforms directly, then combine both levels while the quarter
+  // elements are in registers. The quarter blocks are laid out in
+  // bit-reversed subsequence order (j mod 4 = 0,2,1,3) — exactly what the
+  // fused butterfly expects — and the two levels' twiddles are the plans'
+  // own tables: w1 = omega_{n/2}^k (inner node), w2 = omega_n^k (this node).
+  if (r == 2 && node.sub->kind == PlanNode::Kind::kCooleyTukey &&
+      node.sub->radix == 2) {
+    const PlanNode& grand = *node.sub->sub;
+    const std::size_t q = node.n / 4;
+    execute_plan(grand, in, 4 * is, out, os, scratch);
+    execute_plan(grand, in + 2 * is, 4 * is, out + q * os, os, scratch);
+    execute_plan(grand, in + is, 4 * is, out + 2 * q * os, os, scratch);
+    execute_plan(grand, in + 3 * is, 4 * is, out + 3 * q * os, os, scratch);
+    simd::fft_kernels().combine_radix4_fused(
+        out, os, q, node.sub->twiddles.data(), node.twiddles.data());
+    return;
+  }
+
   // Sub-transform t1 reads x[t2*r + t1] (stride r*is) and writes its result
   // contiguously (in units of os) to out[m*t1 ...].
   for (std::size_t t1 = 0; t1 < r; ++t1) {
@@ -58,21 +74,10 @@ void execute_plan(const PlanNode& node, const cplx* in, std::size_t is,
   }
   // Combine: for every k1, an r-point DFT across the strided column
   // out[(k1 + m*t1) * os] with twiddles omega_n^(t1*k1), written back to the
-  // same index set {k1 + m*k2}.
-  assert(r <= kMaxRadix);
-  cplx buf[kMaxRadix];
-  cplx res[kMaxRadix];
-  for (std::size_t k1 = 0; k1 < m; ++k1) {
-    buf[0] = out[k1 * os];
-    for (std::size_t t1 = 1; t1 < r; ++t1) {
-      buf[t1] =
-          cmul(out[(k1 + m * t1) * os], node.twiddles[(t1 - 1) * m + k1]);
-    }
-    dft::codelet_dft(r, buf, 1, res, 1);
-    for (std::size_t k2 = 0; k2 < r; ++k2) {
-      out[(k1 + m * k2) * os] = res[k2];
-    }
-  }
+  // same index set {k1 + m*k2}. Contiguous outputs (os == 1) and
+  // power-of-two radices run vectorized in the active backend; everything
+  // else falls back to the scalar column loop.
+  simd::fft_kernels().combine(out, os, m, r, node.twiddles.data());
 }
 
 }  // namespace ftfft::fft

@@ -6,6 +6,7 @@
 #include "common/env.hpp"
 #include "common/math_util.hpp"
 #include "common/plan_registry.hpp"
+#include "simd/dispatch.hpp"
 
 namespace ftfft::fft {
 
@@ -32,6 +33,31 @@ InplaceRadix2Plan::InplaceRadix2Plan(std::size_t n) : n_(n) {
   }
   twiddle_half_.resize(n / 2 == 0 ? 1 : n / 2);
   for (std::size_t k = 0; k < n / 2; ++k) twiddle_half_[k] = omega(n, k);
+  // Pack the fused radix-4 schedule's per-stage twiddles contiguously in j
+  // (see FusedStage). Values are copies out of twiddle_half_, so the scalar
+  // backend computes bit-identical results to the historic strided reads.
+  unsigned s = (log2n_ & 1u) ? 2 : 1;
+  std::size_t total = 0;
+  for (unsigned t = s; t + 1 <= log2n_; t += 2) {
+    total += 2 * (std::size_t{1} << (t - 1));
+  }
+  stage_twiddles_.reserve(total);
+  for (; s + 1 <= log2n_; s += 2) {
+    const std::size_t quarter = std::size_t{1} << (s - 1);
+    const std::size_t step1 = n_ >> s;
+    const std::size_t step2 = n_ >> (s + 1);
+    FusedStage st;
+    st.len = std::size_t{1} << (s + 1);
+    st.w1_off = stage_twiddles_.size();
+    for (std::size_t j = 0; j < quarter; ++j) {
+      stage_twiddles_.push_back(twiddle_half_[j * step1]);
+    }
+    st.w2_off = stage_twiddles_.size();
+    for (std::size_t j = 0; j < quarter; ++j) {
+      stage_twiddles_.push_back(twiddle_half_[j * step2]);
+    }
+    stages_.push_back(st);
+  }
 }
 
 void InplaceRadix2Plan::permute(cplx* data) const {
@@ -64,58 +90,49 @@ void InplaceRadix2Plan::run_radix2(cplx* data, bool inverse) const {
 
 void InplaceRadix2Plan::run_radix4(cplx* data, bool inverse) const {
   permute(data);
-  unsigned s = 1;
-  // Odd log2(n): burn one level with the twiddle-free radix-2 stage so the
-  // remaining level count is even and pairs up into radix-4 stages.
-  if (log2n_ & 1u) {
-    for (std::size_t base = 0; base < n_; base += 2) {
-      const cplx u = data[base];
-      const cplx t = data[base + 1];
-      data[base] = u + t;
-      data[base + 1] = u - t;
-    }
-    s = 2;
-  }
   // Fused stages s and s+1: one pass performs the radix-2 butterflies of
   // both levels while the four quarter elements are in registers. Within a
   // block of len = 2^(s+1), butterfly j uses
-  //   w1 = omega_{2^s}^j       (level-s twiddle, index stride n >> s)
-  //   w2 = omega_{2^(s+1)}^j   (level-(s+1) twiddle, index stride n >> (s+1))
+  //   w1 = omega_{2^s}^j       (level-s twiddle)
+  //   w2 = omega_{2^(s+1)}^j   (level-(s+1) twiddle)
   //   omega_{2^(s+1)}^(j+q) = w2 * (-i)  [forward; +i inverse]
-  for (; s + 1 <= log2n_; s += 2) {
-    const std::size_t len = std::size_t{1} << (s + 1);
-    const std::size_t quarter = len >> 2;
-    const std::size_t step1 = n_ >> s;
-    const std::size_t step2 = n_ >> (s + 1);
-    for (std::size_t base = 0; base < n_; base += len) {
-      std::size_t tw1 = 0;
-      std::size_t tw2 = 0;
-      for (std::size_t j = 0; j < quarter; ++j, tw1 += step1, tw2 += step2) {
-        const cplx w1 = inverse ? std::conj(twiddle_half_[tw1])
-                                : twiddle_half_[tw1];
-        const cplx w2 = inverse ? std::conj(twiddle_half_[tw2])
-                                : twiddle_half_[tw2];
-        const cplx a = data[base + j];
-        const cplx b = data[base + j + quarter];
-        const cplx c = data[base + j + 2 * quarter];
-        const cplx d = data[base + j + 3 * quarter];
-        // Level s on the two half-blocks.
-        const cplx t0 = cmul(b, w1);
-        const cplx a1 = a + t0;
-        const cplx b1 = a - t0;
-        const cplx t1 = cmul(d, w1);
-        const cplx c1 = c + t1;
-        const cplx d1 = c - t1;
-        // Level s+1 across the half-blocks.
-        const cplx t2 = cmul(c1, w2);
-        const cplx t3raw = cmul(d1, w2);
-        const cplx t3 = inverse ? mul_i(t3raw) : mul_neg_i(t3raw);
-        data[base + j] = a1 + t2;
-        data[base + j + 2 * quarter] = a1 - t2;
-        data[base + j + quarter] = b1 + t3;
-        data[base + j + 3 * quarter] = b1 - t3;
+  // both repacked contiguously per stage at construction. The butterfly
+  // passes run through the dispatched SIMD backend; when log2(n) is odd one
+  // level is burned first with the twiddle-free radix-2 pass so the
+  // remaining level count pairs up into radix-4 stages.
+  //
+  // Cache blocking: a stage with len <= kBlock only ever couples elements
+  // inside an aligned kBlock-sized window, so all such stages run to
+  // completion window by window while the window is cache-hot — one
+  // streaming pass over the array instead of one per stage. Blocks are
+  // independent, so this reorders no butterfly's arithmetic: results are
+  // bit-identical to the unblocked schedule. Stages with len > kBlock
+  // (couplings wider than the window) still run as whole-array passes.
+  constexpr std::size_t kBlock = std::size_t{1} << 15;  // 512 KiB of cplx
+  const auto& kernels = simd::fft_kernels();
+  const std::size_t block = n_ < kBlock ? n_ : kBlock;
+  std::size_t blocked_stages = 0;
+  while (blocked_stages < stages_.size() &&
+         stages_[blocked_stages].len <= block) {
+    ++blocked_stages;
+  }
+  for (std::size_t off = 0; off < n_; off += block) {
+    if (log2n_ & 1u) kernels.radix2_stage0(data + off, block);
+    for (std::size_t i = 0; i < blocked_stages; ++i) {
+      const FusedStage& st = stages_[i];
+      if (st.len == 4) {
+        kernels.radix4_first_stage(data + off, block, inverse);
+      } else {
+        kernels.radix4_stage(data + off, block, st.len,
+                             stage_twiddles_.data() + st.w1_off,
+                             stage_twiddles_.data() + st.w2_off, inverse);
       }
     }
+  }
+  for (std::size_t i = blocked_stages; i < stages_.size(); ++i) {
+    const FusedStage& st = stages_[i];
+    kernels.radix4_stage(data, n_, st.len, stage_twiddles_.data() + st.w1_off,
+                         stage_twiddles_.data() + st.w2_off, inverse);
   }
 }
 

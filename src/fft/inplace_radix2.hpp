@@ -50,10 +50,23 @@ class InplaceRadix2Plan {
   void run_radix4(cplx* data, bool inverse) const;
   void permute(cplx* data) const;
 
+  /// One fused (radix-4) stage of the default schedule. The twiddles for
+  /// butterfly j of the stage — w1 = omega_{len/2}^j and w2 = omega_{len}^j
+  /// — are repacked contiguously in j (offsets into stage_twiddles_) so the
+  /// SIMD kernels load them with unit stride instead of gathering from
+  /// twiddle_half_ at a per-stage stride.
+  struct FusedStage {
+    std::size_t len;     ///< block length 2^(s+1)
+    std::size_t w1_off;  ///< quarter = len/4 entries
+    std::size_t w2_off;  ///< quarter entries
+  };
+
   std::size_t n_;
   unsigned log2n_;
   std::vector<std::size_t> bit_reverse_;  // only entries with i < rev(i)
   std::vector<cplx> twiddle_half_;        // omega_n^k, k in [0, n/2)
+  std::vector<FusedStage> stages_;        // fused radix-4 schedule
+  std::vector<cplx> stage_twiddles_;      // packed per-stage w1/w2 runs
 };
 
 }  // namespace ftfft::fft

@@ -1,0 +1,133 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace ftfft::simd {
+namespace {
+
+struct BackendTables {
+  Backend backend;
+  const FftKernels* fft;
+  const ChecksumKernels* checksum;
+};
+
+bool cpu_has_avx2_fma() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const BackendTables* table_for(Backend b) {
+  static const BackendTables scalar{Backend::kScalar, scalar_fft_kernels(),
+                                    scalar_checksum_kernels()};
+  static const BackendTables avx2{Backend::kAvx2, avx2_fft_kernels(),
+                                  avx2_checksum_kernels()};
+  static const BackendTables neon{Backend::kNeon, neon_fft_kernels(),
+                                  neon_checksum_kernels()};
+  switch (b) {
+    case Backend::kAvx2:
+      return avx2.fft != nullptr ? &avx2 : nullptr;
+    case Backend::kNeon:
+      return neon.fft != nullptr ? &neon : nullptr;
+    case Backend::kScalar:
+      break;
+  }
+  return &scalar;
+}
+
+std::atomic<const BackendTables*>& current() {
+  // Latched at first kernel lookup; set_backend() swaps it afterwards.
+  static std::atomic<const BackendTables*> cur{
+      table_for(detail::resolve_from_env())};
+  return cur;
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+    case Backend::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+bool backend_available(Backend b) {
+  switch (b) {
+    case Backend::kAvx2:
+      return avx2_fft_kernels() != nullptr && cpu_has_avx2_fma();
+    case Backend::kNeon:
+      return neon_fft_kernels() != nullptr;  // NEON is baseline on aarch64
+    case Backend::kScalar:
+      break;
+  }
+  return true;
+}
+
+Backend detected_backend() {
+  if (backend_available(Backend::kAvx2)) return Backend::kAvx2;
+  if (backend_available(Backend::kNeon)) return Backend::kNeon;
+  return Backend::kScalar;
+}
+
+Backend active_backend() {
+  return current().load(std::memory_order_acquire)->backend;
+}
+
+const char* simd_backend_name() { return backend_name(active_backend()); }
+
+bool set_backend(Backend b) {
+  if (!backend_available(b)) return false;
+  current().store(table_for(b), std::memory_order_release);
+  return true;
+}
+
+const FftKernels& fft_kernels() {
+  return *current().load(std::memory_order_acquire)->fft;
+}
+
+const ChecksumKernels& checksum_kernels() {
+  return *current().load(std::memory_order_acquire)->checksum;
+}
+
+namespace detail {
+
+bool parse_backend(const char* value, Backend& out) {
+  if (value == nullptr) return false;
+  if (std::strcmp(value, "scalar") == 0) {
+    out = Backend::kScalar;
+    return true;
+  }
+  if (std::strcmp(value, "avx2") == 0) {
+    out = Backend::kAvx2;
+    return true;
+  }
+  if (std::strcmp(value, "neon") == 0) {
+    out = Backend::kNeon;
+    return true;
+  }
+  return false;
+}
+
+Backend resolve_from_env() {
+  const char* raw = std::getenv("FTFFT_SIMD");
+  Backend req;
+  if (raw != nullptr && *raw != '\0' && parse_backend(raw, req) &&
+      backend_available(req)) {
+    return req;
+  }
+  return detected_backend();
+}
+
+}  // namespace detail
+
+}  // namespace ftfft::simd

@@ -1,0 +1,57 @@
+// Runtime SIMD backend selection.
+//
+// At first use the dispatcher probes the CPU (cpuid-backed
+// __builtin_cpu_supports on x86; NEON is baseline on aarch64) and latches the
+// best compiled-in backend. The FTFFT_SIMD environment variable overrides the
+// choice ("scalar" | "avx2" | "neon"; anything else, including "auto", means
+// detect) — an override naming an unavailable backend falls back to
+// detection, so FTFFT_SIMD=scalar is always honored and FTFFT_SIMD=avx2 on a
+// non-AVX2 host degrades gracefully instead of crashing.
+//
+// Kernel lookups are one atomic pointer load; the active table can be
+// swapped at runtime via set_backend() (used by benches to time scalar vs
+// vector in one process, and by tests to sweep every backend). Swapping
+// while transforms are in flight is safe memory-wise but mixes backends
+// within a transform — only do it between computations.
+#pragma once
+
+#include "simd/kernels.hpp"
+
+namespace ftfft::simd {
+
+enum class Backend { kScalar, kAvx2, kNeon };
+
+/// Lowercase name, e.g. "avx2". Stable — printed by benches and tests.
+const char* backend_name(Backend b);
+
+/// True when the backend is compiled into this binary and the CPU supports
+/// it. kScalar is always available.
+bool backend_available(Backend b);
+
+/// The backend runtime detection would pick (ignores FTFFT_SIMD).
+Backend detected_backend();
+
+/// The backend currently serving kernel lookups.
+Backend active_backend();
+
+/// Name of the active backend; convenience for bench/test banners.
+const char* simd_backend_name();
+
+/// Swaps the active kernel tables. Returns false (and changes nothing) when
+/// the backend is unavailable. Not intended for use mid-transform.
+bool set_backend(Backend b);
+
+/// Active kernel tables (one atomic load).
+const FftKernels& fft_kernels();
+const ChecksumKernels& checksum_kernels();
+
+namespace detail {
+/// Parses an FTFFT_SIMD value. Returns false for unknown strings (callers
+/// then auto-detect).
+bool parse_backend(const char* value, Backend& out);
+/// What the dispatcher would choose right now for the current environment:
+/// FTFFT_SIMD if set, valid and available, else detected_backend().
+Backend resolve_from_env();
+}  // namespace detail
+
+}  // namespace ftfft::simd

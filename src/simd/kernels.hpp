@@ -1,0 +1,102 @@
+// Per-backend kernel tables for the SIMD-dispatched hot paths.
+//
+// Three layers go through these tables (see ISSUE/ROADMAP: SIMD codelets):
+//   * the in-place radix-4 butterfly stages (fft/inplace_radix2.cpp),
+//   * the out-of-place executor's combine loop and the size-4/8/16 leaf
+//     codelets (fft/executor.cpp, dft/codelets.cpp),
+//   * the stride-1 checksum dot products (checksum/dot.cpp).
+//
+// Each backend TU (kernels_scalar.cpp, kernels_avx2.cpp, kernels_neon.cpp)
+// fills one static table; the getters below return nullptr when the backend
+// is not compiled into this binary. The runtime dispatcher (dispatch.cpp)
+// picks one table per process; callers fetch it through
+// simd::fft_kernels() / simd::checksum_kernels().
+#pragma once
+
+#include <cstddef>
+
+#include "checksum/dot.hpp"
+#include "common/complex.hpp"
+
+namespace ftfft::simd {
+
+/// Stride-1 checksum reductions. Semantics match the checksum::* functions
+/// of the same name with stride == 1; see checksum/dot.hpp.
+struct ChecksumKernels {
+  cplx (*weighted_sum)(const cplx* w, const cplx* x, std::size_t n);
+  checksum::DualSum (*dual_weighted_sum)(const cplx* w, const cplx* x,
+                                         std::size_t n);
+  double (*energy)(const cplx* x, std::size_t n);
+  double (*robust_energy)(const cplx* x, std::size_t n);
+  checksum::DualSumRobust (*dual_plain_sum_robust)(const cplx* x,
+                                                   std::size_t n);
+  checksum::SumEnergy (*weighted_sum_energy)(const cplx* w, const cplx* x,
+                                             std::size_t n);
+  checksum::DualSumEnergy (*dual_weighted_sum_energy)(const cplx* w,
+                                                      const cplx* x,
+                                                      std::size_t n);
+  cplx (*omega3_weighted_sum)(const cplx* x, std::size_t n);
+};
+
+/// FFT butterfly/combine kernels.
+struct FftKernels {
+  /// Twiddle-free radix-2 pass over adjacent pairs (the odd-log2n opener of
+  /// the fused in-place schedule). Identical forward and inverse.
+  void (*radix2_stage0)(cplx* data, std::size_t n);
+  /// First fused radix-4 stage (len == 4, unit twiddles) over contiguous
+  /// quadruples.
+  void (*radix4_first_stage)(cplx* data, std::size_t n, bool inverse);
+  /// One fused radix-4 stage of block length `len` (>= 8) over data[0..n).
+  /// w1/w2 are the per-butterfly twiddles packed contiguously in j
+  /// (quarter = len/4 entries each, forward values; the kernel conjugates
+  /// for the inverse).
+  void (*radix4_stage)(cplx* data, std::size_t n, std::size_t len,
+                       const cplx* w1, const cplx* w2, bool inverse);
+  /// Cooley-Tukey combine: for every k1 in [0,m) an r-point DFT across the
+  /// column out[(k1 + m*t1) * os] with twiddles tw[(t1-1)*m + k1], written
+  /// back to the same index set. r <= 64.
+  void (*combine)(cplx* out, std::size_t os, std::size_t m, std::size_t r,
+                  const cplx* tw);
+  /// Fused combine of two consecutive radix-2 levels (forward only): the
+  /// four q-point quarter blocks of out hold the sub-DFTs of the input
+  /// subsequences j = 0,2,1,3 (mod 4); w1 = omega_{4q/2}^k (k < q) from the
+  /// inner level, w2 = omega_{4q}^k from the outer level.
+  void (*combine_radix4_fused)(cplx* out, std::size_t os, std::size_t q,
+                               const cplx* w1, const cplx* w2);
+  /// Strided-input, contiguous-output leaf codelets (os == 1). nullptr means
+  /// "use the scalar codelet"; only backends with width > 1 provide them.
+  void (*dft4)(const cplx* in, std::size_t is, cplx* out);
+  void (*dft8)(const cplx* in, std::size_t is, cplx* out);
+  void (*dft16)(const cplx* in, std::size_t is, cplx* out);
+};
+
+/// Backend tables. A getter returns nullptr when that backend is not
+/// compiled into the binary (wrong ISA, FTFFT_DISABLE_AVX2, ...).
+const ChecksumKernels* scalar_checksum_kernels();
+const FftKernels* scalar_fft_kernels();
+const ChecksumKernels* avx2_checksum_kernels();
+const FftKernels* avx2_fft_kernels();
+const ChecksumKernels* neon_checksum_kernels();
+const FftKernels* neon_fft_kernels();
+
+/// Reference scalar combine over columns [k1_begin, k1_end): the loop the
+/// executor ran before dispatch existed. Shared by the scalar table and by
+/// the vector kernels' remainder/odd-radix fallbacks.
+void scalar_combine_columns(cplx* out, std::size_t os, std::size_t m,
+                            std::size_t r, const cplx* tw,
+                            std::size_t k1_begin, std::size_t k1_end);
+
+/// Reference scalar fused radix-2x2 combine (any os).
+void scalar_combine_radix4_fused(cplx* out, std::size_t os, std::size_t q,
+                                 const cplx* w1, const cplx* w2);
+
+/// Reference scalar radix-2 pair pass over data[begin..end) (begin/end are
+/// element indices, must be even).
+void scalar_radix2_stage0_range(cplx* data, std::size_t begin,
+                                std::size_t end);
+
+/// Reference scalar first fused radix-4 stage over blocks [begin, end).
+void scalar_radix4_first_stage_range(cplx* data, std::size_t begin,
+                                     std::size_t end, bool inverse);
+
+}  // namespace ftfft::simd

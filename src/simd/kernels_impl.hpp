@@ -1,0 +1,516 @@
+// Generic kernel bodies, parameterized on a vector type from vec.hpp.
+//
+// Each backend TU instantiates these with its vector type, so the math is
+// written once and every backend performs the same operation *sequence*; only
+// lane width and FMA contraction differ. Reductions use at least two
+// independent accumulator registers (four scalar chains at width 1, eight at
+// width 2) so the loop is not serialized on one floating-point add chain —
+// this also changes summation order vs a naive single chain, which the
+// detection thresholds absorb (see checksum/dot.hpp).
+//
+// Included only by the kernels_*.cpp backend TUs.
+#pragma once
+
+#include <cstddef>
+
+#include "checksum/dot.hpp"
+#include "common/complex.hpp"
+#include "common/math_util.hpp"
+#include "dft/codelet_constants.hpp"
+#include "simd/kernels.hpp"
+
+namespace ftfft::simd::impl {
+
+// ============================================================== checksums
+
+template <class V>
+cplx k_weighted_sum(const cplx* w, const cplx* x, std::size_t n) {
+  constexpr std::size_t W = V::width;
+  V a0 = V::zero();
+  V a1 = V::zero();
+  std::size_t j = 0;
+  for (; j + 2 * W <= n; j += 2 * W) {
+    a0 = a0 + V::load(w + j).cmul(V::load(x + j));
+    a1 = a1 + V::load(w + j + W).cmul(V::load(x + j + W));
+  }
+  for (; j + W <= n; j += W) {
+    a0 = a0 + V::load(w + j).cmul(V::load(x + j));
+  }
+  cplx acc = (a0 + a1).hsum();
+  for (; j < n; ++j) acc += cmul(w[j], x[j]);
+  return acc;
+}
+
+template <class V>
+checksum::DualSum k_dual_weighted_sum(const cplx* w, const cplx* x,
+                                      std::size_t n) {
+  constexpr std::size_t W = V::width;
+  V p0 = V::zero(), p1 = V::zero();
+  V i0 = V::zero(), i1 = V::zero();
+  V j0 = V::first_index();
+  V j1 = j0 + V::index_step();
+  const V step2 = V::index_step() + V::index_step();
+  std::size_t j = 0;
+  if (w == nullptr) {
+    for (; j + 2 * W <= n; j += 2 * W) {
+      const V v0 = V::load(x + j);
+      const V v1 = V::load(x + j + W);
+      p0 = p0 + v0;
+      p1 = p1 + v1;
+      i0 = v0.fmadd_elem(j0, i0);
+      i1 = v1.fmadd_elem(j1, i1);
+      j0 = j0 + step2;
+      j1 = j1 + step2;
+    }
+    for (; j + W <= n; j += W) {
+      const V v0 = V::load(x + j);
+      p0 = p0 + v0;
+      i0 = v0.fmadd_elem(j0, i0);
+      j0 = j0 + V::index_step();
+    }
+  } else {
+    for (; j + 2 * W <= n; j += 2 * W) {
+      const V q0 = V::load(w + j).cmul(V::load(x + j));
+      const V q1 = V::load(w + j + W).cmul(V::load(x + j + W));
+      p0 = p0 + q0;
+      p1 = p1 + q1;
+      i0 = q0.fmadd_elem(j0, i0);
+      i1 = q1.fmadd_elem(j1, i1);
+      j0 = j0 + step2;
+      j1 = j1 + step2;
+    }
+    for (; j + W <= n; j += W) {
+      const V q0 = V::load(w + j).cmul(V::load(x + j));
+      p0 = p0 + q0;
+      i0 = q0.fmadd_elem(j0, i0);
+      j0 = j0 + V::index_step();
+    }
+  }
+  checksum::DualSum out;
+  out.plain = (p0 + p1).hsum();
+  out.indexed = (i0 + i1).hsum();
+  for (; j < n; ++j) {
+    const cplx p = w == nullptr ? x[j] : cmul(w[j], x[j]);
+    out.plain += p;
+    out.indexed += static_cast<double>(j) * p;
+  }
+  return out;
+}
+
+template <class V>
+double k_energy(const cplx* x, std::size_t n) {
+  constexpr std::size_t W = V::width;
+  V a0 = V::zero();
+  V a1 = V::zero();
+  std::size_t j = 0;
+  for (; j + 2 * W <= n; j += 2 * W) {
+    const V v0 = V::load(x + j);
+    const V v1 = V::load(x + j + W);
+    a0 = v0.fmadd_elem(v0, a0);
+    a1 = v1.fmadd_elem(v1, a1);
+  }
+  for (; j + W <= n; j += W) {
+    const V v0 = V::load(x + j);
+    a0 = v0.fmadd_elem(v0, a0);
+  }
+  double acc = (a0 + a1).hsum_slots();
+  for (; j < n; ++j) acc += norm2(x[j]);
+  return acc;
+}
+
+/// Finds max |x_j|^2 and its first index. Per lane-stream the compare is
+/// strict, and ties across streams resolve to the smaller index, so the
+/// result matches a left-to-right scalar scan.
+template <class V>
+void k_find_max_norm2(const cplx* x, std::size_t n, double& max_out,
+                      std::size_t& idx_out) {
+  constexpr std::size_t W = V::width;
+  V maxv = V::broadcast(cplx{-1.0, -1.0});
+  V idxv = V::zero();
+  V jv = V::first_index();
+  std::size_t j = 0;
+  for (; j + W <= n; j += W) {
+    const V nd = V::norm2_dup(V::load(x + j));
+    const V m = V::cmp_gt(nd, maxv);
+    maxv = V::blend(maxv, nd, m);
+    idxv = V::blend(idxv, jv, m);
+    jv = jv + V::index_step();
+  }
+  double best = -1.0;
+  std::size_t bi = 0;
+  if (j > 0) {
+    double mraw[2 * W];
+    double iraw[2 * W];
+    maxv.store_raw(mraw);
+    idxv.store_raw(iraw);
+    for (std::size_t s = 0; s < W; ++s) {
+      const double cand = mraw[2 * s];
+      const auto cidx = static_cast<std::size_t>(iraw[2 * s]);
+      if (cand > best || (cand == best && cidx < bi)) {
+        best = cand;
+        bi = cidx;
+      }
+    }
+  }
+  for (; j < n; ++j) {
+    const double e = norm2(x[j]);
+    if (e > best) {
+      best = e;
+      bi = j;
+    }
+  }
+  max_out = best < 0.0 ? 0.0 : best;
+  idx_out = bi;
+}
+
+/// Energy over [0, n) excluding element `skip` (summed, not subtracted
+/// afterwards: a huge outlier would absorb the rest of the sum — see
+/// checksum/dot.cpp).
+template <class V>
+double k_energy_excluding(const cplx* x, std::size_t n, std::size_t skip) {
+  constexpr std::size_t W = V::width;
+  const std::size_t a = skip / W * W;          // chunk holding `skip`
+  const std::size_t b = a + W < n ? a + W : n;  // first element after it
+  double acc = k_energy<V>(x, a);
+  for (std::size_t j = a; j < b; ++j) {
+    if (j != skip) acc += norm2(x[j]);
+  }
+  acc += k_energy<V>(x + b, n - b);
+  return acc;
+}
+
+template <class V>
+double k_robust_energy(const cplx* x, std::size_t n) {
+  if (n == 0) return 0.0;
+  double mx;
+  std::size_t ti;
+  k_find_max_norm2<V>(x, n, mx, ti);
+  return k_energy_excluding<V>(x, n, ti);
+}
+
+template <class V>
+checksum::DualSumRobust k_dual_plain_sum_robust(const cplx* x,
+                                                std::size_t n) {
+  checksum::DualSumRobust out;
+  if (n == 0) return out;
+  out.sums = k_dual_weighted_sum<V>(nullptr, x, n);
+  std::size_t ti;
+  k_find_max_norm2<V>(x, n, out.max_norm2, ti);
+  out.energy = k_energy_excluding<V>(x, n, ti);
+  return out;
+}
+
+template <class V>
+checksum::SumEnergy k_weighted_sum_energy(const cplx* w, const cplx* x,
+                                          std::size_t n) {
+  constexpr std::size_t W = V::width;
+  V s0 = V::zero(), s1 = V::zero();
+  V e0 = V::zero(), e1 = V::zero();
+  std::size_t j = 0;
+  for (; j + 2 * W <= n; j += 2 * W) {
+    const V v0 = V::load(x + j);
+    const V v1 = V::load(x + j + W);
+    s0 = s0 + V::load(w + j).cmul(v0);
+    s1 = s1 + V::load(w + j + W).cmul(v1);
+    e0 = v0.fmadd_elem(v0, e0);
+    e1 = v1.fmadd_elem(v1, e1);
+  }
+  for (; j + W <= n; j += W) {
+    const V v0 = V::load(x + j);
+    s0 = s0 + V::load(w + j).cmul(v0);
+    e0 = v0.fmadd_elem(v0, e0);
+  }
+  checksum::SumEnergy out;
+  out.sum = (s0 + s1).hsum();
+  out.energy = (e0 + e1).hsum_slots();
+  for (; j < n; ++j) {
+    out.sum += cmul(w[j], x[j]);
+    out.energy += norm2(x[j]);
+  }
+  return out;
+}
+
+template <class V>
+checksum::DualSumEnergy k_dual_weighted_sum_energy(const cplx* w,
+                                                   const cplx* x,
+                                                   std::size_t n) {
+  constexpr std::size_t W = V::width;
+  V p0 = V::zero(), p1 = V::zero();
+  V i0 = V::zero(), i1 = V::zero();
+  V e0 = V::zero(), e1 = V::zero();
+  V j0 = V::first_index();
+  V j1 = j0 + V::index_step();
+  const V step2 = V::index_step() + V::index_step();
+  std::size_t j = 0;
+  for (; j + 2 * W <= n; j += 2 * W) {
+    const V v0 = V::load(x + j);
+    const V v1 = V::load(x + j + W);
+    const V q0 = w == nullptr ? v0 : V::load(w + j).cmul(v0);
+    const V q1 = w == nullptr ? v1 : V::load(w + j + W).cmul(v1);
+    p0 = p0 + q0;
+    p1 = p1 + q1;
+    i0 = q0.fmadd_elem(j0, i0);
+    i1 = q1.fmadd_elem(j1, i1);
+    e0 = v0.fmadd_elem(v0, e0);
+    e1 = v1.fmadd_elem(v1, e1);
+    j0 = j0 + step2;
+    j1 = j1 + step2;
+  }
+  for (; j + W <= n; j += W) {
+    const V v0 = V::load(x + j);
+    const V q0 = w == nullptr ? v0 : V::load(w + j).cmul(v0);
+    p0 = p0 + q0;
+    i0 = q0.fmadd_elem(j0, i0);
+    e0 = v0.fmadd_elem(v0, e0);
+    j0 = j0 + V::index_step();
+  }
+  checksum::DualSumEnergy out;
+  out.sums.plain = (p0 + p1).hsum();
+  out.sums.indexed = (i0 + i1).hsum();
+  out.energy = (e0 + e1).hsum_slots();
+  for (; j < n; ++j) {
+    const cplx p = w == nullptr ? x[j] : cmul(w[j], x[j]);
+    out.sums.plain += p;
+    out.sums.indexed += static_cast<double>(j) * p;
+    out.energy += norm2(x[j]);
+  }
+  return out;
+}
+
+template <class V>
+cplx k_omega3_weighted_sum(const cplx* x, std::size_t n) {
+  constexpr std::size_t W = V::width;
+  // Three accumulator vectors per 3W-element chunk; because chunk bases are
+  // multiples of 3W, the lane -> (j mod 3) bucket pattern is the same in
+  // every chunk and is unwound once at the end.
+  V a0 = V::zero(), a1 = V::zero(), a2 = V::zero();
+  std::size_t j = 0;
+  for (; j + 3 * W <= n; j += 3 * W) {
+    a0 = a0 + V::load(x + j);
+    a1 = a1 + V::load(x + j + W);
+    a2 = a2 + V::load(x + j + 2 * W);
+  }
+  cplx b[3] = {cplx{0.0, 0.0}, cplx{0.0, 0.0}, cplx{0.0, 0.0}};
+  double raw[3][2 * W];
+  a0.store_raw(raw[0]);
+  a1.store_raw(raw[1]);
+  a2.store_raw(raw[2]);
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (std::size_t s = 0; s < W; ++s) {
+      b[(t * W + s) % 3] += cplx{raw[t][2 * s], raw[t][2 * s + 1]};
+    }
+  }
+  for (; j < n; ++j) b[j % 3] += x[j];
+  return b[0] + cmul(omega3_pow(1), b[1]) + cmul(omega3_pow(2), b[2]);
+}
+
+// ============================================================ FFT stages
+
+/// Width-1 shaped twiddle-free radix-2 pass; backends with wider registers
+/// provide a shuffle-based version instead.
+template <class V>
+void k_radix2_stage0_w1(cplx* data, std::size_t n) {
+  static_assert(V::width == 1);
+  for (std::size_t base = 0; base + 1 < n; base += 2) {
+    const V u = V::load(data + base);
+    const V t = V::load(data + base + 1);
+    (u + t).store(data + base);
+    (u - t).store(data + base + 1);
+  }
+}
+
+/// Width-1 shaped first fused radix-4 stage (len == 4, unit twiddles).
+template <class V>
+void k_radix4_first_stage_w1(cplx* data, std::size_t n, bool inverse) {
+  static_assert(V::width == 1);
+  for (std::size_t base = 0; base + 3 < n; base += 4) {
+    const V a = V::load(data + base);
+    const V b = V::load(data + base + 1);
+    const V c = V::load(data + base + 2);
+    const V d = V::load(data + base + 3);
+    const V a1 = a + b;
+    const V b1 = a - b;
+    const V c1 = c + d;
+    const V d1 = c - d;
+    const V t3 = inverse ? d1.mul_i() : d1.mul_neg_i();
+    (a1 + c1).store(data + base);
+    (b1 + t3).store(data + base + 1);
+    (a1 - c1).store(data + base + 2);
+    (b1 - t3).store(data + base + 3);
+  }
+}
+
+/// One fused radix-4 stage; quarter = len/4 must be a multiple of V::width
+/// (true for len >= 8 whenever width <= 2: quarter is a power of two >= 2).
+template <class V, bool Inverse>
+void k_radix4_stage_t(cplx* data, std::size_t n, std::size_t len,
+                      const cplx* w1, const cplx* w2) {
+  const std::size_t quarter = len >> 2;
+  for (std::size_t base = 0; base < n; base += len) {
+    cplx* p = data + base;
+    for (std::size_t j = 0; j < quarter; j += V::width) {
+      V vw1 = V::load(w1 + j);
+      V vw2 = V::load(w2 + j);
+      if constexpr (Inverse) {
+        vw1 = vw1.conj_();
+        vw2 = vw2.conj_();
+      }
+      const V a = V::load(p + j);
+      const V b = V::load(p + j + quarter);
+      const V c = V::load(p + j + 2 * quarter);
+      const V d = V::load(p + j + 3 * quarter);
+      // Level s on the two half-blocks.
+      const V t0 = b.cmul(vw1);
+      const V a1 = a + t0;
+      const V b1 = a - t0;
+      const V t1 = d.cmul(vw1);
+      const V c1 = c + t1;
+      const V d1 = c - t1;
+      // Level s+1 across the half-blocks.
+      const V t2 = c1.cmul(vw2);
+      const V t3raw = d1.cmul(vw2);
+      const V t3 = Inverse ? t3raw.mul_i() : t3raw.mul_neg_i();
+      (a1 + t2).store(p + j);
+      (b1 + t3).store(p + j + quarter);
+      (a1 - t2).store(p + j + 2 * quarter);
+      (b1 - t3).store(p + j + 3 * quarter);
+    }
+  }
+}
+
+template <class V>
+void k_radix4_stage(cplx* data, std::size_t n, std::size_t len,
+                    const cplx* w1, const cplx* w2, bool inverse) {
+  if (inverse) {
+    k_radix4_stage_t<V, true>(data, n, len, w1, w2);
+  } else {
+    k_radix4_stage_t<V, false>(data, n, len, w1, w2);
+  }
+}
+
+// ============================================== vertical DFTs for combine
+
+// The codelet math from dft/codelets.cpp transliterated onto vectors: each
+// call performs V::width independent r-point DFTs, one per lane.
+
+template <class V>
+inline void vdft2(V* x) {
+  const V a = x[0];
+  const V b = x[1];
+  x[0] = a + b;
+  x[1] = a - b;
+}
+
+template <class V>
+inline void vdft4(V* x) {
+  const V s02 = x[0] + x[2];
+  const V d02 = x[0] - x[2];
+  const V s13 = x[1] + x[3];
+  const V d13 = x[1] - x[3];
+  x[0] = s02 + s13;
+  x[1] = d02 + d13.mul_neg_i();
+  x[2] = s02 - s13;
+  x[3] = d02 + d13.mul_i();
+}
+
+template <class V>
+inline void vdft8(V* x) {
+  V e[4] = {x[0], x[2], x[4], x[6]};
+  V o[4] = {x[1], x[3], x[5], x[7]};
+  vdft4(e);
+  vdft4(o);
+  using dft::kHalfSqrt2;
+  const V t1 = o[1].cmul(V::broadcast({kHalfSqrt2, -kHalfSqrt2}));
+  const V t2 = o[2].mul_neg_i();
+  const V t3 = o[3].cmul(V::broadcast({-kHalfSqrt2, -kHalfSqrt2}));
+  x[0] = e[0] + o[0];
+  x[1] = e[1] + t1;
+  x[2] = e[2] + t2;
+  x[3] = e[3] + t3;
+  x[4] = e[0] - o[0];
+  x[5] = e[1] - t1;
+  x[6] = e[2] - t2;
+  x[7] = e[3] - t3;
+}
+
+template <class V>
+inline void vdft16(V* x) {
+  V e[8] = {x[0], x[2], x[4], x[6], x[8], x[10], x[12], x[14]};
+  V o[8] = {x[1], x[3], x[5], x[7], x[9], x[11], x[13], x[15]};
+  vdft8(e);
+  vdft8(o);
+  using dft::kCosPi8;
+  using dft::kHalfSqrt2;
+  using dft::kSinPi8;
+  V t[8];
+  t[0] = o[0];
+  t[1] = o[1].cmul(V::broadcast({kCosPi8, -kSinPi8}));
+  t[2] = o[2].cmul(V::broadcast({kHalfSqrt2, -kHalfSqrt2}));
+  t[3] = o[3].cmul(V::broadcast({kSinPi8, -kCosPi8}));
+  t[4] = o[4].mul_neg_i();
+  t[5] = o[5].cmul(V::broadcast({-kSinPi8, -kCosPi8}));
+  t[6] = o[6].cmul(V::broadcast({-kHalfSqrt2, -kHalfSqrt2}));
+  t[7] = o[7].cmul(V::broadcast({-kCosPi8, -kSinPi8}));
+  for (std::size_t k = 0; k < 8; ++k) {
+    x[k] = e[k] + t[k];
+    x[k + 8] = e[k] - t[k];
+  }
+}
+
+template <class V, std::size_t R>
+void k_combine_r(cplx* out, std::size_t m, const cplx* tw) {
+  std::size_t k1 = 0;
+  for (; k1 + V::width <= m; k1 += V::width) {
+    V buf[R];
+    buf[0] = V::load(out + k1);
+    for (std::size_t t = 1; t < R; ++t) {
+      buf[t] = V::load(out + k1 + m * t).cmul(V::load(tw + (t - 1) * m + k1));
+    }
+    if constexpr (R == 2) {
+      vdft2(buf);
+    } else if constexpr (R == 4) {
+      vdft4(buf);
+    } else if constexpr (R == 8) {
+      vdft8(buf);
+    } else {
+      static_assert(R == 16);
+      vdft16(buf);
+    }
+    for (std::size_t t = 0; t < R; ++t) buf[t].store(out + k1 + m * t);
+  }
+  if (k1 < m) scalar_combine_columns(out, 1, m, R, tw, k1, m);
+}
+
+template <class V>
+void k_combine(cplx* out, std::size_t os, std::size_t m, std::size_t r,
+               const cplx* tw) {
+  if (os == 1) {
+    switch (r) {
+      case 2:
+        return k_combine_r<V, 2>(out, m, tw);
+      case 4:
+        return k_combine_r<V, 4>(out, m, tw);
+      case 8:
+        return k_combine_r<V, 8>(out, m, tw);
+      case 16:
+        return k_combine_r<V, 16>(out, m, tw);
+      default:
+        break;
+    }
+  }
+  scalar_combine_columns(out, os, m, r, tw, 0, m);
+}
+
+template <class V>
+void k_combine_radix4_fused(cplx* out, std::size_t os, std::size_t q,
+                            const cplx* w1, const cplx* w2) {
+  if (os == 1 && q % V::width == 0 && q >= V::width) {
+    // A fused combine is exactly one radix-4 stage whose block spans the
+    // whole 4q-element range.
+    k_radix4_stage_t<V, false>(out, 4 * q, 4 * q, w1, w2);
+    return;
+  }
+  scalar_combine_radix4_fused(out, os, q, w1, w2);
+}
+
+}  // namespace ftfft::simd::impl

@@ -1,0 +1,133 @@
+// Scalar backend: the reference implementations every vector backend is
+// checked against. This TU is compiled with -ffp-contract=off (see
+// CMakeLists.txt) so the schoolbook complex multiply stays a plain
+// 4-mul/2-add sequence regardless of compiler contraction defaults — the
+// cross-backend comparison tests rely on that baseline being stable.
+#include <cassert>
+
+#include "dft/codelets.hpp"
+#include "simd/kernels.hpp"
+#include "simd/kernels_impl.hpp"
+#include "simd/vec.hpp"
+
+namespace ftfft::simd {
+
+// Shared scalar helpers (also the fallbacks inside the vector backends).
+
+void scalar_combine_columns(cplx* out, std::size_t os, std::size_t m,
+                            std::size_t r, const cplx* tw,
+                            std::size_t k1_begin, std::size_t k1_end) {
+  // Upper bound on the combine radix; kRadixPreference in plan.cpp tops out
+  // at 16 and generic codelets at 32, both far below this.
+  constexpr std::size_t kMaxRadix = 64;
+  assert(r <= kMaxRadix);
+  cplx buf[kMaxRadix];
+  cplx res[kMaxRadix];
+  for (std::size_t k1 = k1_begin; k1 < k1_end; ++k1) {
+    buf[0] = out[k1 * os];
+    for (std::size_t t1 = 1; t1 < r; ++t1) {
+      buf[t1] = cmul(out[(k1 + m * t1) * os], tw[(t1 - 1) * m + k1]);
+    }
+    dft::codelet_dft(r, buf, 1, res, 1);
+    for (std::size_t k2 = 0; k2 < r; ++k2) {
+      out[(k1 + m * k2) * os] = res[k2];
+    }
+  }
+}
+
+void scalar_combine_radix4_fused(cplx* out, std::size_t os, std::size_t q,
+                                 const cplx* w1, const cplx* w2) {
+  for (std::size_t j = 0; j < q; ++j) {
+    const cplx a = out[j * os];
+    const cplx b = out[(j + q) * os];
+    const cplx c = out[(j + 2 * q) * os];
+    const cplx d = out[(j + 3 * q) * os];
+    const cplx t0 = cmul(b, w1[j]);
+    const cplx a1 = a + t0;
+    const cplx b1 = a - t0;
+    const cplx t1 = cmul(d, w1[j]);
+    const cplx c1 = c + t1;
+    const cplx d1 = c - t1;
+    const cplx t2 = cmul(c1, w2[j]);
+    const cplx t3 = mul_neg_i(cmul(d1, w2[j]));
+    out[j * os] = a1 + t2;
+    out[(j + 2 * q) * os] = a1 - t2;
+    out[(j + q) * os] = b1 + t3;
+    out[(j + 3 * q) * os] = b1 - t3;
+  }
+}
+
+void scalar_radix2_stage0_range(cplx* data, std::size_t begin,
+                                std::size_t end) {
+  for (std::size_t base = begin; base + 1 < end; base += 2) {
+    const cplx u = data[base];
+    const cplx t = data[base + 1];
+    data[base] = u + t;
+    data[base + 1] = u - t;
+  }
+}
+
+void scalar_radix4_first_stage_range(cplx* data, std::size_t begin,
+                                     std::size_t end, bool inverse) {
+  for (std::size_t base = begin; base + 3 < end; base += 4) {
+    const cplx a = data[base];
+    const cplx b = data[base + 1];
+    const cplx c = data[base + 2];
+    const cplx d = data[base + 3];
+    const cplx a1 = a + b;
+    const cplx b1 = a - b;
+    const cplx c1 = c + d;
+    const cplx d1 = c - d;
+    const cplx t3 = inverse ? mul_i(d1) : mul_neg_i(d1);
+    data[base] = a1 + c1;
+    data[base + 1] = b1 + t3;
+    data[base + 2] = a1 - c1;
+    data[base + 3] = b1 - t3;
+  }
+}
+
+namespace {
+
+using V = ScalarVec;
+
+void s_radix2_stage0(cplx* data, std::size_t n) {
+  scalar_radix2_stage0_range(data, 0, n);
+}
+
+void s_radix4_first_stage(cplx* data, std::size_t n, bool inverse) {
+  scalar_radix4_first_stage_range(data, 0, n, inverse);
+}
+
+void s_combine(cplx* out, std::size_t os, std::size_t m, std::size_t r,
+               const cplx* tw) {
+  scalar_combine_columns(out, os, m, r, tw, 0, m);
+}
+
+constexpr FftKernels kScalarFft = {
+    s_radix2_stage0,
+    s_radix4_first_stage,
+    impl::k_radix4_stage<V>,
+    s_combine,
+    scalar_combine_radix4_fused,
+    nullptr,  // dft4: width-1 backend, scalar codelets are already optimal
+    nullptr,  // dft8
+    nullptr,  // dft16
+};
+
+constexpr ChecksumKernels kScalarChecksum = {
+    impl::k_weighted_sum<V>,
+    impl::k_dual_weighted_sum<V>,
+    impl::k_energy<V>,
+    impl::k_robust_energy<V>,
+    impl::k_dual_plain_sum_robust<V>,
+    impl::k_weighted_sum_energy<V>,
+    impl::k_dual_weighted_sum_energy<V>,
+    impl::k_omega3_weighted_sum<V>,
+};
+
+}  // namespace
+
+const ChecksumKernels* scalar_checksum_kernels() { return &kScalarChecksum; }
+const FftKernels* scalar_fft_kernels() { return &kScalarFft; }
+
+}  // namespace ftfft::simd
