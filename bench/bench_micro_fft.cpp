@@ -7,6 +7,7 @@
 // single-lane SIMD speedup is the ratio of the two rows at equal size.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "abft/options.hpp"
@@ -60,6 +61,100 @@ BENCHMARK_CAPTURE(BM_FftInplaceRadix2, scalar, false)
 BENCHMARK_CAPTURE(BM_FftInplaceRadix2, dispatched, true)
     ->RangeMultiplier(4)
     ->Range(1 << 10, 1 << 20);
+
+// The retained PR 4 schedule (pair-swap permute + radix-4 stages): the
+// optimized/reference row pair at equal size is the PR 5 speedup.
+void BM_FftInplaceRadix2Reference(benchmark::State& state) {
+  use_backend(state, true);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_vector(n, InputDistribution::kUniform, 2);
+  const auto plan = fft::InplaceRadix2Plan::get(n);
+  for (auto _ : state) {
+    plan->forward_radix4_reference(x.data());
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftInplaceRadix2Reference)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 20);
+
+// Permute-only rows: the scattered pair-swap walk vs the COBRA tiled walk
+// vs COBRA with the opener stage fused into tile write-back. These isolate
+// the former ~35%-of-forward bit-reversal cost as tracked numbers.
+void BM_InplacePermute(benchmark::State& state, int mode, bool dispatched) {
+  use_backend(state, dispatched);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto plan = fft::InplaceRadix2Plan::get(n);
+  if (mode > 0 && !plan->cobra_enabled()) {
+    state.SkipWithError("COBRA disabled at this size (below threshold)");
+    return;
+  }
+  auto x = random_vector(n, InputDistribution::kUniform, 6);
+  for (auto _ : state) {
+    switch (mode) {
+      case 0:
+        plan->permute_pairswap(x.data());
+        break;
+      case 1:
+        plan->permute_cobra(x.data());
+        break;
+      default:
+        plan->permute_cobra_fused_opener(x.data());
+        break;
+    }
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_InplacePermute, pairswap, 0, true)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 20);
+BENCHMARK_CAPTURE(BM_InplacePermute, cobra, 1, true)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 20);
+BENCHMARK_CAPTURE(BM_InplacePermute, cobra_fused_opener, 2, true)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 20);
+
+// Per-stage-group rows: the cache-blocked small-stage streaming pass vs the
+// whole-array tail passes (radix-16/radix-4 beyond the window). Together
+// with the permute rows these decompose the full forward() cost.
+void BM_InplaceStageGroup(benchmark::State& state, int group,
+                          bool dispatched) {
+  use_backend(state, dispatched);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto plan = fft::InplaceRadix2Plan::get(n);
+  auto x = random_vector(n, InputDistribution::kUniform, 7);
+  if (group == 1) {
+    if (plan->tail_radix16_stages() + plan->tail_radix4_stages() == 0) {
+      state.SkipWithError("no tail at this size (fits the cache window)");
+      return;
+    }
+    std::string label = simd::simd_backend_name();
+    label += " r16x" + std::to_string(plan->tail_radix16_stages()) + " r4x" +
+             std::to_string(plan->tail_radix4_stages());
+    state.SetLabel(label);
+  }
+  for (auto _ : state) {
+    if (group == 0) {
+      plan->blocked_stages_pass(x.data(), /*include_opener=*/true);
+    } else {
+      plan->tail_stages_pass(x.data());
+    }
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_InplaceStageGroup, blocked, 0, true)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 20);
+BENCHMARK_CAPTURE(BM_InplaceStageGroup, tail, 1, true)
+    ->RangeMultiplier(4)
+    ->Range(1 << 18, 1 << 20);
 
 void BM_FftBluestein(benchmark::State& state) {
   use_backend(state, true);

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Runs the Google-benchmark micro benches with JSON output plus the
+# self-timed batch-throughput bench, and consolidates everything into one
+# BENCH_PR5.json — the start of a tracked perf trajectory (each PR appends a
+# fresh snapshot under a new name instead of prose claims).
+#
+# Usage: bench/run_bench_suite.sh [BUILD_DIR] [OUT_JSON]
+#   BUILD_DIR        cmake build tree holding the bench binaries (default:
+#                    build)
+#   OUT_JSON         consolidated output path (default: BUILD_DIR/BENCH_PR5.json)
+# Environment:
+#   BENCH_MIN_TIME   --benchmark_min_time per gbench binary, in seconds
+#                    (default 0.05; CI smoke uses 0.01)
+#   FTFFT_BENCH_RUNS / FTFFT_BENCH_SCALE are honored by the self-timed bench
+#   as usual.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT_JSON=${2:-${BUILD_DIR}/BENCH_PR5.json}
+MIN_TIME=${BENCH_MIN_TIME:-0.05}
+
+GBENCH_BINARIES=(bench_micro_fft bench_micro_checksum)
+SELF_TIMED_BINARIES=(bench_batch_throughput)
+
+if ! command -v python3 >/dev/null; then
+  echo "run_bench_suite.sh: python3 is required to merge JSON" >&2
+  exit 1
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "${workdir}"' EXIT
+
+run_gbench() {
+  # Google benchmark changed --benchmark_min_time from a bare double to a
+  # suffixed duration ("0.05s") around v1.8; try the new syntax first and
+  # fall back, so the suite runs against either library generation.
+  local bin=$1 out=$2
+  if ! "${BUILD_DIR}/${bin}" "--benchmark_min_time=${MIN_TIME}s" \
+      --benchmark_format=json --benchmark_out="${out}" \
+      --benchmark_out_format=json >/dev/null 2>&1; then
+    "${BUILD_DIR}/${bin}" "--benchmark_min_time=${MIN_TIME}" \
+      --benchmark_format=json --benchmark_out="${out}" \
+      --benchmark_out_format=json >/dev/null
+  fi
+}
+
+merge_args=()
+for bin in "${GBENCH_BINARIES[@]}"; do
+  if [[ ! -x "${BUILD_DIR}/${bin}" ]]; then
+    echo "skipping ${bin} (not built — Google benchmark missing?)" >&2
+    continue
+  fi
+  echo "running ${bin} (min_time=${MIN_TIME}s)..."
+  run_gbench "${bin}" "${workdir}/${bin}.json"
+  merge_args+=("${bin}=${workdir}/${bin}.json")
+done
+
+text_args=()
+for bin in "${SELF_TIMED_BINARIES[@]}"; do
+  if [[ ! -x "${BUILD_DIR}/${bin}" ]]; then
+    echo "skipping ${bin} (not built)" >&2
+    continue
+  fi
+  echo "running ${bin}..."
+  "${BUILD_DIR}/${bin}" > "${workdir}/${bin}.txt"
+  text_args+=("${bin}=${workdir}/${bin}.txt")
+done
+
+python3 - "${OUT_JSON}" "${#merge_args[@]}" "${merge_args[@]+"${merge_args[@]}"}" \
+    "${text_args[@]+"${text_args[@]}"}" <<'PYEOF'
+import json
+import sys
+
+out_path = sys.argv[1]
+n_json = int(sys.argv[2])
+pairs = sys.argv[3:]
+json_pairs = pairs[:n_json]
+text_pairs = pairs[n_json:]
+
+merged = {"suite": "ftfft PR5 bench suite", "context": None,
+          "benchmarks": [], "logs": {}}
+for pair in json_pairs:
+    name, path = pair.split("=", 1)
+    with open(path) as f:
+        doc = json.load(f)
+    if merged["context"] is None:
+        merged["context"] = doc.get("context", {})
+    for row in doc.get("benchmarks", []):
+        row["suite"] = name
+        merged["benchmarks"].append(row)
+for pair in text_pairs:
+    name, path = pair.split("=", 1)
+    with open(path) as f:
+        merged["logs"][name] = f.read()
+
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+print(f"wrote {out_path}: {len(merged['benchmarks'])} benchmark rows, "
+      f"{len(merged['logs'])} self-timed logs")
+PYEOF

@@ -8,6 +8,13 @@
 // unset or unavailable values fall back to runtime detection. Read at first
 // kernel dispatch by src/simd/dispatch.cpp.
 //
+// FTFFT_INPLACE_BLOCK_LOG2 / FTFFT_COBRA_TILE_BITS / FTFFT_COBRA_MIN_LOG2
+// override the in-place engine's memory-hierarchy tuning (cache-window size
+// for stage blocking, COBRA bit-reversal tile width, and the size threshold
+// below which the pair-swap permutation is kept). Read at plan construction
+// by fft::default_inplace_tuning(); see fft/inplace_radix2.hpp for the
+// defaults and their rationale.
+//
 // FTFFT_ENGINE_THREADS sets the worker count of every engine::BatchEngine
 // constructed with num_threads = 0 — including the process-wide shared()
 // engine behind the single-shot wrappers — so tests, CI and co-tenant

@@ -1,0 +1,120 @@
+#include "fft/bit_reversal.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "simd/dispatch.hpp"
+
+namespace ftfft::fft {
+
+CobraBitReversal::CobraBitReversal(unsigned log2n, unsigned tile_bits)
+    : log2n_(log2n),
+      b_(tile_bits < log2n / 2 ? tile_bits : log2n / 2),
+      mid_(log2n - 2 * b_) {
+  const std::size_t tile = std::size_t{1} << b_;
+  rev_tile_.resize(tile);
+  for (std::size_t x = 0; x < tile; ++x) {
+    rev_tile_[x] = static_cast<std::uint32_t>(reverse_bits(x, b_));
+  }
+  const std::size_t mids = std::size_t{1} << mid_;
+  mid_pairs_.reserve(mids);  // mids/2 pairs plus the self-paired middles
+  for (std::size_t m = 0; m < mids; ++m) {
+    const std::size_t mr = reverse_bits(m, mid_);
+    if (m <= mr) {
+      mid_pairs_.push_back(static_cast<std::uint32_t>(m));
+      mid_pairs_.push_back(static_cast<std::uint32_t>(mr));
+    }
+  }
+}
+
+namespace {
+
+/// Starts the loads of every row of tile `m` early: the 2^b rows live
+/// row_stride apart (one page each at large n), so hardware prefetchers
+/// never see them coming — issuing the row-start prefetches while the
+/// previous tile is being gathered hides most of that latency.
+inline void prefetch_tile(const cplx* data, std::size_t m, std::size_t B,
+                          std::size_t row_stride) {
+#if defined(__GNUC__) || defined(__clang__)
+  for (std::size_t a = 0; a < B; ++a) {
+    __builtin_prefetch(data + a * row_stride + m * B, 0, 1);
+  }
+#else
+  (void)data;
+  (void)m;
+  (void)B;
+  (void)row_stride;
+#endif
+}
+
+/// Gathers tile `m` into buf so that write-back rows come out sequential:
+/// buf[t * B + rev_b(a)] = data[a * row_stride + m * B + t]. The reads are
+/// contiguous B-element runs; the strided writes land in the cache-resident
+/// buffer.
+void load_tile(const cplx* data, cplx* buf, std::size_t m, std::size_t B,
+               std::size_t row_stride, const std::uint32_t* rev_tile) {
+  for (std::size_t a = 0; a < B; ++a) {
+    const cplx* src = data + a * row_stride + m * B;
+    cplx* col = buf + rev_tile[a];
+    for (std::size_t t = 0; t < B; ++t) col[t * B] = src[t];
+  }
+}
+
+/// Writes tile `m` from a buffered source tile: destination row t' of tile m
+/// is buffer row rev_b(t'), optionally passing through the fused opener.
+/// Derivation: dst (t', m, a') holds src (rev_b(a'), m_src, rev_b(t')),
+/// which load_tile stored at buf[rev_b(t') * B + a'].
+void store_tile(cplx* data, const cplx* buf, std::size_t m, std::size_t B,
+                std::size_t row_stride, const std::uint32_t* rev_tile,
+                const simd::FftKernels& kernels,
+                CobraBitReversal::Opener opener, bool inverse) {
+  using Opener = CobraBitReversal::Opener;
+  for (std::size_t t = 0; t < B; ++t) {
+    cplx* dst = data + t * row_stride + m * B;
+    const cplx* row = buf + static_cast<std::size_t>(rev_tile[t]) * B;
+    switch (opener) {
+      case Opener::kNone:
+        std::memcpy(dst, row, B * sizeof(cplx));
+        break;
+      case Opener::kRadix2Pairs:
+        kernels.radix2_stage0_from(dst, row, B);
+        break;
+      case Opener::kRadix4First:
+        kernels.radix4_first_stage_from(dst, row, B, inverse);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void CobraBitReversal::run(cplx* data, Opener opener, bool inverse) const {
+  assert(opener == Opener::kNone || b_ >= 2);
+  const std::size_t B = std::size_t{1} << b_;
+  const std::size_t row_stride = std::size_t{1} << (mid_ + b_);
+  const auto& kernels = simd::fft_kernels();
+  // One tile pair in flight; per-thread so shared plans stay reentrant.
+  static thread_local std::vector<cplx> buffer;
+  buffer.resize(2 * B * B);
+  cplx* buf0 = buffer.data();
+  cplx* buf1 = buffer.data() + B * B;
+  for (std::size_t p = 0; p + 1 < mid_pairs_.size(); p += 2) {
+    const std::size_t m = mid_pairs_[p];
+    const std::size_t mr = mid_pairs_[p + 1];
+    if (m != mr) prefetch_tile(data, mr, B, row_stride);
+    load_tile(data, buf0, m, B, row_stride, rev_tile_.data());
+    if (m == mr) {
+      // Self-paired middle: the tile maps onto itself through the buffer.
+      store_tile(data, buf0, m, B, row_stride, rev_tile_.data(), kernels,
+                 opener, inverse);
+      continue;
+    }
+    load_tile(data, buf1, mr, B, row_stride, rev_tile_.data());
+    store_tile(data, buf1, m, B, row_stride, rev_tile_.data(), kernels,
+               opener, inverse);
+    store_tile(data, buf0, mr, B, row_stride, rev_tile_.data(), kernels,
+               opener, inverse);
+  }
+}
+
+}  // namespace ftfft::fft

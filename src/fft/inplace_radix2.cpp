@@ -1,5 +1,6 @@
 #include "fft/inplace_radix2.hpp"
 
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
@@ -10,22 +11,47 @@
 
 namespace ftfft::fft {
 
-InplaceRadix2Plan::InplaceRadix2Plan(std::size_t n) : n_(n) {
+namespace {
+/// The cache window of the retained PR 4 schedule (2^15 elements = 512 KiB):
+/// the reference path keeps it regardless of tuning so the baseline the
+/// optimized path is measured against stays exactly what PR 4 shipped.
+constexpr unsigned kReferenceBlockLog2 = 15;
+}  // namespace
+
+InplaceTuning default_inplace_tuning() {
+  InplaceTuning t;
+  const InplaceTuning defaults;
+  auto clamped = [](std::size_t v, unsigned lo, unsigned hi) {
+    if (v < lo) return lo;
+    if (v > hi) return hi;
+    return static_cast<unsigned>(v);
+  };
+  t.block_log2 = clamped(
+      env_size("FTFFT_INPLACE_BLOCK_LOG2", defaults.block_log2), 4, 28);
+  t.cobra_tile_bits = clamped(
+      env_size("FTFFT_COBRA_TILE_BITS", defaults.cobra_tile_bits), 0, 10);
+  t.cobra_min_log2 = clamped(
+      env_size("FTFFT_COBRA_MIN_LOG2", defaults.cobra_min_log2), 4, 64);
+  return t;
+}
+
+InplaceRadix2Plan::InplaceRadix2Plan(std::size_t n)
+    : InplaceRadix2Plan(n, default_inplace_tuning()) {}
+
+InplaceRadix2Plan::InplaceRadix2Plan(std::size_t n,
+                                     const InplaceTuning& tuning)
+    : n_(n) {
   if (!is_pow2(n)) {
     throw std::invalid_argument(
         "InplaceRadix2Plan: size must be a power of two");
   }
   log2n_ = log2_floor(n);
+  block_log2_ = tuning.block_log2;
   // Store only the swap pairs (i, rev(i)) with i < rev(i) so the permutation
   // pass touches each element once.
   bit_reverse_.reserve(n / 2);
   for (std::size_t i = 0; i < n; ++i) {
-    std::size_t rev = 0;
-    std::size_t x = i;
-    for (unsigned b = 0; b < log2n_; ++b) {
-      rev = (rev << 1) | (x & 1);
-      x >>= 1;
-    }
+    const std::size_t rev = reverse_bits(i, log2n_);
     if (i < rev) {
       bit_reverse_.push_back(i);
       bit_reverse_.push_back(rev);
@@ -58,16 +84,81 @@ InplaceRadix2Plan::InplaceRadix2Plan(std::size_t n) : n_(n) {
     }
     stages_.push_back(st);
   }
+  // Split the schedule at the cache window: stages with len <= the window
+  // run window-by-window in one streaming pass; the rest stream the whole
+  // array once per pass and form the tail.
+  const auto count_blocked = [this](unsigned block_log2) {
+    const std::size_t window = n_ < (std::size_t{1} << block_log2)
+                                   ? n_
+                                   : (std::size_t{1} << block_log2);
+    std::size_t count = 0;
+    while (count < stages_.size() && stages_[count].len <= window) ++count;
+    return count;
+  };
+  blocked_stage_count_ = count_blocked(block_log2_);
+  ref_blocked_stage_count_ = count_blocked(kReferenceBlockLog2);
+  // Regroup the tail: fuse consecutive radix-4 stage pairs into radix-16
+  // passes (four radix-2 levels per stream over the array), leaving at most
+  // one radix-4 stage when the tail count is odd. The fused pass runs both
+  // stages' exact butterfly sequences on their unchanged twiddle packs, so
+  // it is bit-identical to the reference while halving the streaming
+  // passes. (Three-level radix-8 groups were rejected: they misalign with
+  // the radix-4 pairing, and under FMA a pre-rotated twiddle cannot
+  // reproduce the reference's (x*w)*(-i) rounding.)
+  const std::size_t t4 = stages_.size() - blocked_stage_count_;
+  if (t4 > 0) {
+    std::size_t i = blocked_stage_count_;
+    for (; i + 1 < stages_.size(); i += 2) {
+      const FusedStage& a = stages_[i];
+      const FusedStage& b = stages_[i + 1];
+      assert(b.len == 4 * a.len);
+      tail_.push_back(
+          TailStage{16, b.len, a.w1_off, a.w2_off, b.w1_off, b.w2_off});
+    }
+    if (i < stages_.size()) {
+      const FusedStage& st = stages_[i];
+      tail_.push_back(TailStage{4, st.len, st.w1_off, st.w2_off, 0, 0});
+    }
+    assert(tail_.back().len == n_);
+  }
+  // COBRA permutation: only above the size threshold (the scattered
+  // pair-swap walk is cache-resident and cheaper below it) and only with a
+  // usable tile — the effective width after CobraBitReversal's own clamp
+  // must be >= 2 so fused-opener groups never straddle a write-back run.
+  if (log2n_ >= tuning.cobra_min_log2) {
+    auto cobra =
+        std::make_unique<CobraBitReversal>(log2n_, tuning.cobra_tile_bits);
+    if (cobra->tile_bits() >= 2) cobra_ = std::move(cobra);
+  }
 }
 
-void InplaceRadix2Plan::permute(cplx* data) const {
+void InplaceRadix2Plan::permute_pairswap(cplx* data) const {
   for (std::size_t p = 0; p + 1 < bit_reverse_.size(); p += 2) {
     std::swap(data[bit_reverse_[p]], data[bit_reverse_[p + 1]]);
   }
 }
 
+void InplaceRadix2Plan::permute_cobra(cplx* data) const {
+  if (cobra_) {
+    cobra_->permute(data);
+  } else {
+    permute_pairswap(data);
+  }
+}
+
+void InplaceRadix2Plan::permute_cobra_fused_opener(cplx* data) const {
+  if (!cobra_) {
+    throw std::logic_error(
+        "permute_cobra_fused_opener: plan is below the COBRA threshold");
+  }
+  cobra_->run(data,
+              (log2n_ & 1u) ? CobraBitReversal::Opener::kRadix2Pairs
+                            : CobraBitReversal::Opener::kRadix4First,
+              /*inverse=*/false);
+}
+
 void InplaceRadix2Plan::run_radix2(cplx* data, bool inverse) const {
-  permute(data);
+  permute_pairswap(data);
   // Stage s merges blocks of half = 2^(s-1). The twiddle for butterfly j of
   // stage s is omega_{2^s}^j = omega_n^(j * n / 2^s).
   for (unsigned s = 1; s <= log2n_; ++s) {
@@ -88,8 +179,8 @@ void InplaceRadix2Plan::run_radix2(cplx* data, bool inverse) const {
   }
 }
 
-void InplaceRadix2Plan::run_radix4(cplx* data, bool inverse) const {
-  permute(data);
+void InplaceRadix2Plan::run_radix4_reference(cplx* data, bool inverse) const {
+  permute_pairswap(data);
   // Fused stages s and s+1: one pass performs the radix-2 butterflies of
   // both levels while the four quarter elements are in registers. Within a
   // block of len = 2^(s+1), butterfly j uses
@@ -101,51 +192,145 @@ void InplaceRadix2Plan::run_radix4(cplx* data, bool inverse) const {
   // level is burned first with the twiddle-free radix-2 pass so the
   // remaining level count pairs up into radix-4 stages.
   //
-  // Cache blocking: a stage with len <= kBlock only ever couples elements
-  // inside an aligned kBlock-sized window, so all such stages run to
-  // completion window by window while the window is cache-hot — one
-  // streaming pass over the array instead of one per stage. Blocks are
-  // independent, so this reorders no butterfly's arithmetic: results are
-  // bit-identical to the unblocked schedule. Stages with len > kBlock
-  // (couplings wider than the window) still run as whole-array passes.
-  constexpr std::size_t kBlock = std::size_t{1} << 15;  // 512 KiB of cplx
+  // Cache blocking: a stage with len <= the window only ever couples
+  // elements inside an aligned window, so all such stages run to completion
+  // window by window while the window is cache-hot — one streaming pass
+  // over the array instead of one per stage. Blocks are independent, so
+  // this reorders no butterfly's arithmetic: results are bit-identical to
+  // the unblocked schedule. Stages with len > the window (couplings wider
+  // than it) still run as whole-array radix-4 passes here; the optimized
+  // path fuses them pairwise into radix-16 passes instead.
+  blocked_pass(data, inverse, /*skip_opener=*/false, /*scale=*/1.0,
+               kReferenceBlockLog2, ref_blocked_stage_count_);
   const auto& kernels = simd::fft_kernels();
-  const std::size_t block = n_ < kBlock ? n_ : kBlock;
-  std::size_t blocked_stages = 0;
-  while (blocked_stages < stages_.size() &&
-         stages_[blocked_stages].len <= block) {
-    ++blocked_stages;
+  for (std::size_t i = ref_blocked_stage_count_; i < stages_.size(); ++i) {
+    const FusedStage& st = stages_[i];
+    kernels.radix4_stage(data, n_, st.len, stage_twiddles_.data() + st.w1_off,
+                         stage_twiddles_.data() + st.w2_off, inverse, 1.0);
   }
+}
+
+void InplaceRadix2Plan::blocked_pass(cplx* data, bool inverse,
+                                     bool skip_opener, double scale,
+                                     unsigned block_log2,
+                                     std::size_t stage_count) const {
+  const auto& kernels = simd::fft_kernels();
+  const std::size_t block =
+      n_ < (std::size_t{1} << block_log2) ? n_
+                                          : (std::size_t{1} << block_log2);
+  // When the opener was fused into the permutation: for odd log2n it was the
+  // radix-2 pair pass, for even log2n it was stages_[0] (len == 4).
+  //
+  // Stages run one sweep per radix-4 stage while the window is cache-hot.
+  // (Fusing in-window pairs through the radix-16 kernel was measured and
+  // rejected: sixteen live vectors spill on AVX2's sixteen registers, which
+  // a DRAM-bound tail pass hides but a cache-resident sweep pays in full —
+  // the blocked pass got ~30-60% slower.)
+  const std::size_t first = (skip_opener && !(log2n_ & 1u)) ? 1 : 0;
   for (std::size_t off = 0; off < n_; off += block) {
-    if (log2n_ & 1u) kernels.radix2_stage0(data + off, block);
-    for (std::size_t i = 0; i < blocked_stages; ++i) {
+    if (!skip_opener && (log2n_ & 1u)) {
+      kernels.radix2_stage0(data + off, block);
+    }
+    for (std::size_t i = first; i < stage_count; ++i) {
       const FusedStage& st = stages_[i];
       if (st.len == 4) {
         kernels.radix4_first_stage(data + off, block, inverse);
       } else {
+        // The fused 1/n scaling (scale != 1.0 only when the tail is empty
+        // and n >= 8) lands on the last blocked stage of each window.
+        const double s = (scale != 1.0 && i + 1 == stage_count) ? scale : 1.0;
         kernels.radix4_stage(data + off, block, st.len,
                              stage_twiddles_.data() + st.w1_off,
-                             stage_twiddles_.data() + st.w2_off, inverse);
+                             stage_twiddles_.data() + st.w2_off, inverse, s);
       }
     }
   }
-  for (std::size_t i = blocked_stages; i < stages_.size(); ++i) {
-    const FusedStage& st = stages_[i];
-    kernels.radix4_stage(data, n_, st.len, stage_twiddles_.data() + st.w1_off,
-                         stage_twiddles_.data() + st.w2_off, inverse);
+}
+
+void InplaceRadix2Plan::tail_pass(cplx* data, bool inverse,
+                                  double scale) const {
+  const auto& kernels = simd::fft_kernels();
+  for (std::size_t i = 0; i < tail_.size(); ++i) {
+    const TailStage& st = tail_[i];
+    const double s = (scale != 1.0 && i + 1 == tail_.size()) ? scale : 1.0;
+    if (st.radix == 4) {
+      kernels.radix4_stage(data, n_, st.len,
+                           stage_twiddles_.data() + st.w1a_off,
+                           stage_twiddles_.data() + st.w2a_off, inverse, s);
+    } else {
+      kernels.radix16_stage(data, n_, st.len,
+                            stage_twiddles_.data() + st.w1a_off,
+                            stage_twiddles_.data() + st.w2a_off,
+                            stage_twiddles_.data() + st.w1b_off,
+                            stage_twiddles_.data() + st.w2b_off, inverse, s);
+    }
   }
 }
 
-void InplaceRadix2Plan::forward(cplx* data) const { run_radix4(data, false); }
+void InplaceRadix2Plan::run_optimized(cplx* data, bool inverse) const {
+  const double scale = inverse ? 1.0 / static_cast<double>(n_) : 1.0;
+  // n >= 8 guarantees the final stage is a radix-4/radix-16 pass that can
+  // absorb the 1/n factor; below that the separate sweep is free anyway.
+  const bool fuse_scale = inverse && n_ >= 8;
+  bool opener_fused = false;
+  if (cobra_) {
+    cobra_->run(data,
+                (log2n_ & 1u) ? CobraBitReversal::Opener::kRadix2Pairs
+                              : CobraBitReversal::Opener::kRadix4First,
+                inverse);
+    opener_fused = true;
+  } else {
+    permute_pairswap(data);
+  }
+  blocked_pass(data, inverse, opener_fused,
+               fuse_scale && tail_.empty() ? scale : 1.0, block_log2_,
+               blocked_stage_count_);
+  tail_pass(data, inverse, fuse_scale ? scale : 1.0);
+  if (inverse && !fuse_scale && scale != 1.0) {
+    for (std::size_t i = 0; i < n_; ++i) data[i] *= scale;
+  }
+}
+
+void InplaceRadix2Plan::forward(cplx* data) const {
+  run_optimized(data, false);
+}
+
+void InplaceRadix2Plan::inverse(cplx* data) const {
+  run_optimized(data, true);
+}
 
 void InplaceRadix2Plan::forward_radix2(cplx* data) const {
   run_radix2(data, false);
 }
 
-void InplaceRadix2Plan::inverse(cplx* data) const {
-  run_radix4(data, true);
+void InplaceRadix2Plan::forward_radix4_reference(cplx* data) const {
+  run_radix4_reference(data, false);
+}
+
+void InplaceRadix2Plan::inverse_radix4_reference(cplx* data) const {
+  run_radix4_reference(data, true);
   const double inv_n = 1.0 / static_cast<double>(n_);
   for (std::size_t i = 0; i < n_; ++i) data[i] *= inv_n;
+}
+
+void InplaceRadix2Plan::blocked_stages_pass(cplx* data,
+                                            bool include_opener) const {
+  blocked_pass(data, /*inverse=*/false, /*skip_opener=*/!include_opener,
+               /*scale=*/1.0, block_log2_, blocked_stage_count_);
+}
+
+void InplaceRadix2Plan::tail_stages_pass(cplx* data) const {
+  tail_pass(data, /*inverse=*/false, /*scale=*/1.0);
+}
+
+std::size_t InplaceRadix2Plan::tail_radix16_stages() const noexcept {
+  std::size_t c = 0;
+  for (const TailStage& st : tail_) c += st.radix == 16 ? 1 : 0;
+  return c;
+}
+
+std::size_t InplaceRadix2Plan::tail_radix4_stages() const noexcept {
+  return tail_.size() - tail_radix16_stages();
 }
 
 namespace {

@@ -43,15 +43,39 @@ struct FftKernels {
   /// Twiddle-free radix-2 pass over adjacent pairs (the odd-log2n opener of
   /// the fused in-place schedule). Identical forward and inverse.
   void (*radix2_stage0)(cplx* data, std::size_t n);
+  /// Out-of-place radix2_stage0: dst = opener(src), dst/src disjoint, n even.
+  /// Used by the COBRA permutation to fuse the opener into tile write-back.
+  void (*radix2_stage0_from)(cplx* dst, const cplx* src, std::size_t n);
   /// First fused radix-4 stage (len == 4, unit twiddles) over contiguous
   /// quadruples.
   void (*radix4_first_stage)(cplx* data, std::size_t n, bool inverse);
+  /// Out-of-place radix4_first_stage: dst = stage(src), dst/src disjoint,
+  /// n a multiple of 4 (COBRA fused-opener write-back, even log2n).
+  void (*radix4_first_stage_from)(cplx* dst, const cplx* src, std::size_t n,
+                                  bool inverse);
   /// One fused radix-4 stage of block length `len` (>= 8) over data[0..n).
   /// w1/w2 are the per-butterfly twiddles packed contiguously in j
   /// (quarter = len/4 entries each, forward values; the kernel conjugates
-  /// for the inverse).
+  /// for the inverse). `scale` multiplies every output (real factor, fused
+  /// 1/n normalization of the final inverse stage); 1.0 is a no-op.
   void (*radix4_stage)(cplx* data, std::size_t n, std::size_t len,
-                       const cplx* w1, const cplx* w2, bool inverse);
+                       const cplx* w1, const cplx* w2, bool inverse,
+                       double scale);
+  /// One fused radix-16 stage — two consecutive radix-4 stages (four
+  /// radix-2 levels) performed while the sixteen len/16-strided elements
+  /// sit in registers — of block length `len` (>= 16 * width) over
+  /// data[0..n). w1a/w2a are the inner stage's packed twiddles (len/16
+  /// entries each, the stage of block length len/4), w1b/w2b the outer
+  /// stage's (len/4 entries each): exactly the runs radix4_stage would
+  /// load for the two stages separately, so the fused pass is bit-identical
+  /// to them — each butterfly keeps the same cmul orientation and the same
+  /// structural +/-i rotation, which is what FMA backends need for
+  /// bit-equality (a pre-rotated twiddle would round differently under
+  /// fmaddsub). The kernel conjugates for the inverse; `scale` as in
+  /// radix4_stage.
+  void (*radix16_stage)(cplx* data, std::size_t n, std::size_t len,
+                        const cplx* w1a, const cplx* w2a, const cplx* w1b,
+                        const cplx* w2b, bool inverse, double scale);
   /// Cooley-Tukey combine: for every k1 in [0,m) an r-point DFT across the
   /// column out[(k1 + m*t1) * os] with twiddles tw[(t1-1)*m + k1], written
   /// back to the same index set. r <= 64.
@@ -98,5 +122,13 @@ void scalar_radix2_stage0_range(cplx* data, std::size_t begin,
 /// Reference scalar first fused radix-4 stage over blocks [begin, end).
 void scalar_radix4_first_stage_range(cplx* data, std::size_t begin,
                                      std::size_t end, bool inverse);
+
+/// Out-of-place reference openers over [begin, end) (remainder fallbacks of
+/// the vector backends' *_from kernels).
+void scalar_radix2_stage0_from_range(cplx* dst, const cplx* src,
+                                     std::size_t begin, std::size_t end);
+void scalar_radix4_first_stage_from_range(cplx* dst, const cplx* src,
+                                          std::size_t begin, std::size_t end,
+                                          bool inverse);
 
 }  // namespace ftfft::simd

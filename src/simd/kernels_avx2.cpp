@@ -41,6 +41,25 @@ void a_radix2_stage0(cplx* data, std::size_t n) {
   scalar_radix2_stage0_range(data, base, n);
 }
 
+// Out-of-place variant of the radix-2 opener: reads src, writes dst (the
+// COBRA tile write-back rows are disjoint from the tile buffer).
+void a_radix2_stage0_from(cplx* dst, const cplx* src, std::size_t n) {
+  std::size_t base = 0;
+  for (; base + 4 <= n; base += 4) {
+    const double* ps = reinterpret_cast<const double*>(src + base);
+    double* pd = reinterpret_cast<double*>(dst + base);
+    const __m256d v01 = _mm256_loadu_pd(ps);
+    const __m256d v23 = _mm256_loadu_pd(ps + 4);
+    const __m256d u = _mm256_permute2f128_pd(v01, v23, 0x20);  // [u0, u1]
+    const __m256d t = _mm256_permute2f128_pd(v01, v23, 0x31);  // [t0, t1]
+    const __m256d s = _mm256_add_pd(u, t);
+    const __m256d d = _mm256_sub_pd(u, t);
+    _mm256_storeu_pd(pd, _mm256_permute2f128_pd(s, d, 0x20));
+    _mm256_storeu_pd(pd + 4, _mm256_permute2f128_pd(s, d, 0x31));
+  }
+  scalar_radix2_stage0_from_range(dst, src, base, n);
+}
+
 // First fused radix-4 stage (unit twiddles): two 4-element blocks (8 cplx)
 // per iteration, transposed in and out with permute2f128.
 void a_radix4_first_stage(cplx* data, std::size_t n, bool inverse) {
@@ -70,6 +89,38 @@ void a_radix4_first_stage(cplx* data, std::size_t n, bool inverse) {
     _mm256_storeu_pd(p + 12, _mm256_permute2f128_pd(o2.v, o3.v, 0x31));
   }
   scalar_radix4_first_stage_range(data, base, n, inverse);
+}
+
+// Out-of-place variant of the first fused radix-4 stage.
+void a_radix4_first_stage_from(cplx* dst, const cplx* src, std::size_t n,
+                               bool inverse) {
+  std::size_t base = 0;
+  for (; base + 8 <= n; base += 8) {
+    const double* ps = reinterpret_cast<const double*>(src + base);
+    double* pd = reinterpret_cast<double*>(dst + base);
+    const __m256d v0 = _mm256_loadu_pd(ps);       // [a0, b0]
+    const __m256d v1 = _mm256_loadu_pd(ps + 4);   // [c0, d0]
+    const __m256d v2 = _mm256_loadu_pd(ps + 8);   // [a1, b1]
+    const __m256d v3 = _mm256_loadu_pd(ps + 12);  // [c1, d1]
+    const V a{_mm256_permute2f128_pd(v0, v2, 0x20)};  // [a0, a1]
+    const V b{_mm256_permute2f128_pd(v0, v2, 0x31)};  // [b0, b1]
+    const V c{_mm256_permute2f128_pd(v1, v3, 0x20)};  // [c0, c1]
+    const V d{_mm256_permute2f128_pd(v1, v3, 0x31)};  // [d0, d1]
+    const V a1 = a + b;
+    const V b1 = a - b;
+    const V c1 = c + d;
+    const V d1 = c - d;
+    const V t3 = inverse ? d1.mul_i() : d1.mul_neg_i();
+    const V o0 = a1 + c1;
+    const V o1 = b1 + t3;
+    const V o2 = a1 - c1;
+    const V o3 = b1 - t3;
+    _mm256_storeu_pd(pd, _mm256_permute2f128_pd(o0.v, o1.v, 0x20));
+    _mm256_storeu_pd(pd + 4, _mm256_permute2f128_pd(o2.v, o3.v, 0x20));
+    _mm256_storeu_pd(pd + 8, _mm256_permute2f128_pd(o0.v, o1.v, 0x31));
+    _mm256_storeu_pd(pd + 12, _mm256_permute2f128_pd(o2.v, o3.v, 0x31));
+  }
+  scalar_radix4_first_stage_from_range(dst, src, base, n, inverse);
 }
 
 // ------------------------------------------------------- leaf codelets
@@ -137,14 +188,18 @@ void a_dft16(const cplx* in, std::size_t is, cplx* out) {
 // -------------------------------------------------------------- tables
 
 void a_radix4_stage(cplx* data, std::size_t n, std::size_t len,
-                    const cplx* w1, const cplx* w2, bool inverse) {
-  impl::k_radix4_stage<V>(data, n, len, w1, w2, inverse);
+                    const cplx* w1, const cplx* w2, bool inverse,
+                    double scale) {
+  impl::k_radix4_stage<V>(data, n, len, w1, w2, inverse, scale);
 }
 
 constexpr FftKernels kAvx2Fft = {
     a_radix2_stage0,
+    a_radix2_stage0_from,
     a_radix4_first_stage,
+    a_radix4_first_stage_from,
     a_radix4_stage,
+    impl::k_radix16_stage<V>,
     impl::k_combine<V>,
     impl::k_combine_radix4_fused<V>,
     a_dft4,

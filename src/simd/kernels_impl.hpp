@@ -319,6 +319,18 @@ void k_radix2_stage0_w1(cplx* data, std::size_t n) {
   }
 }
 
+/// Width-1 shaped out-of-place opener (COBRA fused write-back).
+template <class V>
+void k_radix2_stage0_from_w1(cplx* dst, const cplx* src, std::size_t n) {
+  static_assert(V::width == 1);
+  for (std::size_t base = 0; base + 1 < n; base += 2) {
+    const V u = V::load(src + base);
+    const V t = V::load(src + base + 1);
+    (u + t).store(dst + base);
+    (u - t).store(dst + base + 1);
+  }
+}
+
 /// Width-1 shaped first fused radix-4 stage (len == 4, unit twiddles).
 template <class V>
 void k_radix4_first_stage_w1(cplx* data, std::size_t n, bool inverse) {
@@ -340,11 +352,36 @@ void k_radix4_first_stage_w1(cplx* data, std::size_t n, bool inverse) {
   }
 }
 
+/// Width-1 shaped out-of-place first fused radix-4 stage.
+template <class V>
+void k_radix4_first_stage_from_w1(cplx* dst, const cplx* src, std::size_t n,
+                                  bool inverse) {
+  static_assert(V::width == 1);
+  for (std::size_t base = 0; base + 3 < n; base += 4) {
+    const V a = V::load(src + base);
+    const V b = V::load(src + base + 1);
+    const V c = V::load(src + base + 2);
+    const V d = V::load(src + base + 3);
+    const V a1 = a + b;
+    const V b1 = a - b;
+    const V c1 = c + d;
+    const V d1 = c - d;
+    const V t3 = inverse ? d1.mul_i() : d1.mul_neg_i();
+    (a1 + c1).store(dst + base);
+    (b1 + t3).store(dst + base + 1);
+    (a1 - c1).store(dst + base + 2);
+    (b1 - t3).store(dst + base + 3);
+  }
+}
+
 /// One fused radix-4 stage; quarter = len/4 must be a multiple of V::width
 /// (true for len >= 8 whenever width <= 2: quarter is a power of two >= 2).
-template <class V, bool Inverse>
+/// When Scaled, every output picks up the real factor `scale` — applied to
+/// the already-rounded butterfly result, so it matches a separate
+/// data[i] *= scale sweep bit-for-bit.
+template <class V, bool Inverse, bool Scaled>
 void k_radix4_stage_t(cplx* data, std::size_t n, std::size_t len,
-                      const cplx* w1, const cplx* w2) {
+                      const cplx* w1, const cplx* w2, double scale) {
   const std::size_t quarter = len >> 2;
   for (std::size_t base = 0; base < n; base += len) {
     cplx* p = data + base;
@@ -370,21 +407,134 @@ void k_radix4_stage_t(cplx* data, std::size_t n, std::size_t len,
       const V t2 = c1.cmul(vw2);
       const V t3raw = d1.cmul(vw2);
       const V t3 = Inverse ? t3raw.mul_i() : t3raw.mul_neg_i();
-      (a1 + t2).store(p + j);
-      (b1 + t3).store(p + j + quarter);
-      (a1 - t2).store(p + j + 2 * quarter);
-      (b1 - t3).store(p + j + 3 * quarter);
+      V y0 = a1 + t2;
+      V y1 = b1 + t3;
+      V y2 = a1 - t2;
+      V y3 = b1 - t3;
+      if constexpr (Scaled) {
+        y0 = y0.scale(scale);
+        y1 = y1.scale(scale);
+        y2 = y2.scale(scale);
+        y3 = y3.scale(scale);
+      }
+      y0.store(p + j);
+      y1.store(p + j + quarter);
+      y2.store(p + j + 2 * quarter);
+      y3.store(p + j + 3 * quarter);
     }
   }
 }
 
 template <class V>
 void k_radix4_stage(cplx* data, std::size_t n, std::size_t len,
-                    const cplx* w1, const cplx* w2, bool inverse) {
-  if (inverse) {
-    k_radix4_stage_t<V, true>(data, n, len, w1, w2);
+                    const cplx* w1, const cplx* w2, bool inverse,
+                    double scale) {
+  if (scale == 1.0) {
+    if (inverse) {
+      k_radix4_stage_t<V, true, false>(data, n, len, w1, w2, scale);
+    } else {
+      k_radix4_stage_t<V, false, false>(data, n, len, w1, w2, scale);
+    }
   } else {
-    k_radix4_stage_t<V, false>(data, n, len, w1, w2);
+    if (inverse) {
+      k_radix4_stage_t<V, true, true>(data, n, len, w1, w2, scale);
+    } else {
+      k_radix4_stage_t<V, false, true>(data, n, len, w1, w2, scale);
+    }
+  }
+}
+
+/// The radix-4 butterfly of k_radix4_stage_t on four registers: exactly the
+/// same operation sequence (cmul orientations and the structural +/-i
+/// rotation on the second level), shared so the fused radix-16 stage is
+/// bit-identical to two radix-4 stages run back to back.
+template <class V, bool Inverse>
+inline void radix4_butterfly(V& a, V& b, V& c, V& d, V vw1, V vw2) {
+  const V t0 = b.cmul(vw1);
+  const V a1 = a + t0;
+  const V b1 = a - t0;
+  const V t1 = d.cmul(vw1);
+  const V c1 = c + t1;
+  const V d1 = c - t1;
+  const V t2 = c1.cmul(vw2);
+  const V t3raw = d1.cmul(vw2);
+  const V t3 = Inverse ? t3raw.mul_i() : t3raw.mul_neg_i();
+  a = a1 + t2;
+  b = b1 + t3;
+  c = a1 - t2;
+  d = b1 - t3;
+}
+
+/// One fused radix-16 stage: the radix-4 stage of block length len/4
+/// followed by the radix-4 stage of block length len, both performed while
+/// the sixteen e-strided elements (e = len/16, must be a multiple of
+/// V::width — true for len >= 32 at width <= 2) sit in registers. The two
+/// stages use their own packed twiddle runs unchanged, so fusing reorders
+/// no arithmetic: one streaming pass, same bits.
+template <class V, bool Inverse, bool Scaled>
+void k_radix16_stage_t(cplx* data, std::size_t n, std::size_t len,
+                       const cplx* w1a, const cplx* w2a, const cplx* w1b,
+                       const cplx* w2b, double scale) {
+  const std::size_t e = len >> 4;
+  for (std::size_t base = 0; base < n; base += len) {
+    cplx* p = data + base;
+    for (std::size_t j = 0; j < e; j += V::width) {
+      V vw1a = V::load(w1a + j);
+      V vw2a = V::load(w2a + j);
+      if constexpr (Inverse) {
+        vw1a = vw1a.conj_();
+        vw2a = vw2a.conj_();
+      }
+      V x[16];
+      for (std::size_t k = 0; k < 16; ++k) {
+        x[k] = V::load(p + j + k * e);
+      }
+      // Inner stage: four len/4 blocks at offsets 4*m*e, butterfly j in
+      // each couples x[4m + 0..3].
+      for (std::size_t m = 0; m < 4; ++m) {
+        radix4_butterfly<V, Inverse>(x[4 * m], x[4 * m + 1], x[4 * m + 2],
+                                     x[4 * m + 3], vw1a, vw2a);
+      }
+      // Outer stage: butterfly j' = j + m*e couples x[m], x[m+4], x[m+8],
+      // x[m+12] with the outer run's twiddles at j'.
+      for (std::size_t m = 0; m < 4; ++m) {
+        V vw1b = V::load(w1b + j + m * e);
+        V vw2b = V::load(w2b + j + m * e);
+        if constexpr (Inverse) {
+          vw1b = vw1b.conj_();
+          vw2b = vw2b.conj_();
+        }
+        radix4_butterfly<V, Inverse>(x[m], x[m + 4], x[m + 8], x[m + 12],
+                                     vw1b, vw2b);
+      }
+      for (std::size_t k = 0; k < 16; ++k) {
+        if constexpr (Scaled) x[k] = x[k].scale(scale);
+        x[k].store(p + j + k * e);
+      }
+    }
+  }
+}
+
+template <class V>
+void k_radix16_stage(cplx* data, std::size_t n, std::size_t len,
+                     const cplx* w1a, const cplx* w2a, const cplx* w1b,
+                     const cplx* w2b, bool inverse, double scale) {
+  if (scale == 1.0) {
+    if (inverse) {
+      k_radix16_stage_t<V, true, false>(data, n, len, w1a, w2a, w1b, w2b,
+                                        scale);
+    } else {
+      k_radix16_stage_t<V, false, false>(data, n, len, w1a, w2a, w1b, w2b,
+                                         scale);
+    }
+  } else {
+    if (inverse) {
+      k_radix16_stage_t<V, true, true>(data, n, len, w1a, w2a, w1b, w2b,
+                                       scale);
+    } else {
+      k_radix16_stage_t<V, false, true>(data, n, len, w1a, w2a, w1b, w2b,
+                                        scale);
+    }
   }
 }
 
@@ -507,7 +657,7 @@ void k_combine_radix4_fused(cplx* out, std::size_t os, std::size_t q,
   if (os == 1 && q % V::width == 0 && q >= V::width) {
     // A fused combine is exactly one radix-4 stage whose block spans the
     // whole 4q-element range.
-    k_radix4_stage_t<V, false>(out, 4 * q, 4 * q, w1, w2);
+    k_radix4_stage_t<V, false, false>(out, 4 * q, 4 * q, w1, w2, 1.0);
     return;
   }
   scalar_combine_radix4_fused(out, os, q, w1, w2);

@@ -21,14 +21,26 @@ void n_radix2_stage0(cplx* data, std::size_t n) {
   impl::k_radix2_stage0_w1<V>(data, n);
 }
 
+void n_radix2_stage0_from(cplx* dst, const cplx* src, std::size_t n) {
+  impl::k_radix2_stage0_from_w1<V>(dst, src, n);
+}
+
 void n_radix4_first_stage(cplx* data, std::size_t n, bool inverse) {
   impl::k_radix4_first_stage_w1<V>(data, n, inverse);
 }
 
+void n_radix4_first_stage_from(cplx* dst, const cplx* src, std::size_t n,
+                               bool inverse) {
+  impl::k_radix4_first_stage_from_w1<V>(dst, src, n, inverse);
+}
+
 constexpr FftKernels kNeonFft = {
     n_radix2_stage0,
+    n_radix2_stage0_from,
     n_radix4_first_stage,
+    n_radix4_first_stage_from,
     impl::k_radix4_stage<V>,
+    impl::k_radix16_stage<V>,
     impl::k_combine<V>,
     impl::k_combine_radix4_fused<V>,
     nullptr,  // dft4: width-1 backend, scalar codelets are already optimal

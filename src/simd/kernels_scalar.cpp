@@ -86,6 +86,36 @@ void scalar_radix4_first_stage_range(cplx* data, std::size_t begin,
   }
 }
 
+void scalar_radix2_stage0_from_range(cplx* dst, const cplx* src,
+                                     std::size_t begin, std::size_t end) {
+  for (std::size_t base = begin; base + 1 < end; base += 2) {
+    const cplx u = src[base];
+    const cplx t = src[base + 1];
+    dst[base] = u + t;
+    dst[base + 1] = u - t;
+  }
+}
+
+void scalar_radix4_first_stage_from_range(cplx* dst, const cplx* src,
+                                          std::size_t begin, std::size_t end,
+                                          bool inverse) {
+  for (std::size_t base = begin; base + 3 < end; base += 4) {
+    const cplx a = src[base];
+    const cplx b = src[base + 1];
+    const cplx c = src[base + 2];
+    const cplx d = src[base + 3];
+    const cplx a1 = a + b;
+    const cplx b1 = a - b;
+    const cplx c1 = c + d;
+    const cplx d1 = c - d;
+    const cplx t3 = inverse ? mul_i(d1) : mul_neg_i(d1);
+    dst[base] = a1 + c1;
+    dst[base + 1] = b1 + t3;
+    dst[base + 2] = a1 - c1;
+    dst[base + 3] = b1 - t3;
+  }
+}
+
 namespace {
 
 using V = ScalarVec;
@@ -94,8 +124,17 @@ void s_radix2_stage0(cplx* data, std::size_t n) {
   scalar_radix2_stage0_range(data, 0, n);
 }
 
+void s_radix2_stage0_from(cplx* dst, const cplx* src, std::size_t n) {
+  scalar_radix2_stage0_from_range(dst, src, 0, n);
+}
+
 void s_radix4_first_stage(cplx* data, std::size_t n, bool inverse) {
   scalar_radix4_first_stage_range(data, 0, n, inverse);
+}
+
+void s_radix4_first_stage_from(cplx* dst, const cplx* src, std::size_t n,
+                               bool inverse) {
+  scalar_radix4_first_stage_from_range(dst, src, 0, n, inverse);
 }
 
 void s_combine(cplx* out, std::size_t os, std::size_t m, std::size_t r,
@@ -105,8 +144,11 @@ void s_combine(cplx* out, std::size_t os, std::size_t m, std::size_t r,
 
 constexpr FftKernels kScalarFft = {
     s_radix2_stage0,
+    s_radix2_stage0_from,
     s_radix4_first_stage,
+    s_radix4_first_stage_from,
     impl::k_radix4_stage<V>,
+    impl::k_radix16_stage<V>,
     s_combine,
     scalar_combine_radix4_fused,
     nullptr,  // dft4: width-1 backend, scalar codelets are already optimal

@@ -69,6 +69,12 @@ struct ScalarVec {
                  v.imag() * b.v.imag() + acc.v.imag()}};
   }
 
+  /// Both slots multiplied by a real scalar (matches cplx::operator*=(double)
+  /// rounding; a plain multiply, never contracted into an FMA).
+  ScalarVec scale(double s) const noexcept {
+    return {cplx{v.real() * s, v.imag() * s}};
+  }
+
   /// Sum of the complex lanes (lane order, deterministic).
   cplx hsum() const noexcept { return v; }
   /// Sum of all 2*width underlying doubles.
@@ -150,6 +156,10 @@ struct Avx2Vec {
 
   Avx2Vec fmadd_elem(Avx2Vec b, Avx2Vec acc) const noexcept {
     return {_mm256_fmadd_pd(v, b.v, acc.v)};
+  }
+
+  Avx2Vec scale(double s) const noexcept {
+    return {_mm256_mul_pd(v, _mm256_set1_pd(s))};
   }
 
   cplx hsum() const noexcept {
@@ -237,6 +247,10 @@ struct NeonVec {
 
   NeonVec fmadd_elem(NeonVec b, NeonVec acc) const noexcept {
     return {vfmaq_f64(acc.v, v, b.v)};
+  }
+
+  NeonVec scale(double s) const noexcept {
+    return {vmulq_n_f64(v, s)};
   }
 
   cplx hsum() const noexcept {
