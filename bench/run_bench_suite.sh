@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
 # Runs the Google-benchmark micro benches with JSON output plus the
 # self-timed batch-throughput bench, and consolidates everything into one
-# BENCH_PR5.json — the start of a tracked perf trajectory (each PR appends a
-# fresh snapshot under a new name instead of prose claims).
+# snapshot JSON — a tracked perf trajectory (each PR commits a fresh
+# snapshot under a new name instead of prose claims). The snapshot name is
+# a parameter, not a hardcoded constant: earlier revisions baked in
+# BENCH_PR5.json, so every later PR silently overwrote the previous
+# snapshot unless it remembered to pass the second positional argument.
 #
 # Usage: bench/run_bench_suite.sh [BUILD_DIR] [OUT_JSON]
 #   BUILD_DIR        cmake build tree holding the bench binaries (default:
 #                    build)
-#   OUT_JSON         consolidated output path (default: BUILD_DIR/BENCH_PR5.json)
+#   OUT_JSON         consolidated output path (default:
+#                    BUILD_DIR/${BENCH_SNAPSHOT}.json)
 # Environment:
+#   BENCH_SNAPSHOT   snapshot stem used when OUT_JSON is not given and as
+#                    the "suite" tag inside the JSON (default: BENCH_PR6)
 #   BENCH_MIN_TIME   --benchmark_min_time per gbench binary, in seconds
 #                    (default 0.05; CI smoke uses 0.01)
 #   FTFFT_BENCH_RUNS / FTFFT_BENCH_SCALE are honored by the self-timed bench
@@ -16,7 +22,8 @@
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-OUT_JSON=${2:-${BUILD_DIR}/BENCH_PR5.json}
+SNAPSHOT=${BENCH_SNAPSHOT:-BENCH_PR6}
+OUT_JSON=${2:-${BUILD_DIR}/${SNAPSHOT}.json}
 MIN_TIME=${BENCH_MIN_TIME:-0.05}
 
 GBENCH_BINARIES=(bench_micro_fft bench_micro_checksum)
@@ -66,18 +73,20 @@ for bin in "${SELF_TIMED_BINARIES[@]}"; do
   text_args+=("${bin}=${workdir}/${bin}.txt")
 done
 
-python3 - "${OUT_JSON}" "${#merge_args[@]}" "${merge_args[@]+"${merge_args[@]}"}" \
+python3 - "${OUT_JSON}" "${SNAPSHOT}" "${#merge_args[@]}" \
+    "${merge_args[@]+"${merge_args[@]}"}" \
     "${text_args[@]+"${text_args[@]}"}" <<'PYEOF'
 import json
 import sys
 
 out_path = sys.argv[1]
-n_json = int(sys.argv[2])
-pairs = sys.argv[3:]
+snapshot = sys.argv[2]
+n_json = int(sys.argv[3])
+pairs = sys.argv[4:]
 json_pairs = pairs[:n_json]
 text_pairs = pairs[n_json:]
 
-merged = {"suite": "ftfft PR5 bench suite", "context": None,
+merged = {"suite": f"ftfft {snapshot} bench suite", "context": None,
           "benchmarks": [], "logs": {}}
 for pair in json_pairs:
     name, path = pair.split("=", 1)

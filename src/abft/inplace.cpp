@@ -13,6 +13,7 @@
 #include "common/math_util.hpp"
 #include "dft/codelets.hpp"
 #include "fft/fft.hpp"
+#include "fft/inplace_radix2.hpp"
 #include "roundoff/model.hpp"
 
 namespace ftfft::abft {
@@ -24,6 +25,21 @@ using fault::Phase;
 double sigma_of(double energy, std::size_t n) {
   return std::sqrt(energy / (2.0 * static_cast<double>(n)) + 1e-300);
 }
+
+// Adapter handing the fault injector to forward_fused's pre-final-stage
+// hook. The hook fires on dst before the checksum-accumulating final stage,
+// so an injected corruption propagates (linearly) into both the outputs and
+// the fused omega3 sum — the CCV still sees rx != ccg exactly as the
+// separate-pass path does when the injector hits the finished outputs.
+struct InjectorHook {
+  fault::Injector* inj;
+  Phase phase;
+  std::size_t unit;
+  static void call(void* self, cplx* data, std::size_t n) {
+    auto* h = static_cast<InjectorHook*>(self);
+    h->inj->apply(h->phase, h->unit, data, n);
+  }
+};
 
 class InplaceRun {
  public:
@@ -89,6 +105,17 @@ class InplaceRun {
   // verified, so a retry never needs the (about to be overwritten) array.
   void layer1() {
     fft::Fft fftk(k_);
+    // Fused checksums (PR 6): the gathered buffer is contiguous, so the
+    // in-place engine can run it and accumulate both checksum dots in the
+    // butterfly passes instead of the standalone sweeps below — at the
+    // sub-sizes where the engine swap profits on the gather-hot buffer
+    // (fused_profitable; tests override with fused_ignore_profitability).
+    const bool combined_ccg = opts_.memory_ft && opts_.combined_checksums;
+    const fft::InplaceRadix2Plan* fused =
+        opts_.fused_checksums &&
+                (opts_.fused_ignore_profitability || fused_profitable(k_))
+            ? plan_.fused_plan_k()
+            : nullptr;
     std::vector<cplx> buf(k_), res(k_);
     if (opts_.memory_ft) {
       b1_.assign(k_, DualSum{});
@@ -102,25 +129,48 @@ class InplaceRun {
       }
       if (opts_.memory_ft && e_in_[i] > 0.0) energy = e_in_[i];
 
-      cplx ccg;
-      if (opts_.memory_ft && opts_.combined_checksums) {
+      cplx ccg{0.0, 0.0};
+      bool have_ccg = false;
+      if (combined_ccg) {
         ccg = s1_[i];
+        have_ccg = true;
         if (!opts_.postpone_mcv) repair_input_slot(i, buf.data());
       } else {
         if (opts_.memory_ft && !opts_.postpone_mcv) {
           repair_input_slot(i, buf.data());
         }
-        ccg = checksum::weighted_sum(ck_, buf.data(), k_);
+        if (fused == nullptr) {
+          ccg = checksum::weighted_sum(ck_, buf.data(), k_);
+          have_ccg = true;
+        }
+        // else: ccg rides on the first fused pass below.
       }
 
       const double eta = eta_comp(energy);
       stats_.eta_m = std::max(stats_.eta_m, eta);
       for (int attempt = 0;; ++attempt) {
-        fftk.execute(buf.data(), res.data());
-        if (inj() != nullptr) {
-          inj()->apply(Phase::kMFftOutput, i, res.data(), k_);
+        cplx rx;
+        if (fused != nullptr) {
+          fft::InplaceRadix2Plan::FusedDots dots;
+          InjectorHook hook{inj(), Phase::kMFftOutput, i};
+          fused->forward_fused(buf.data(), res.data(),
+                               have_ccg ? nullptr : ck_,
+                               plan_.weights_omega3_k(), dots,
+                               inj() != nullptr ? &InjectorHook::call
+                                                : nullptr,
+                               &hook);
+          if (!have_ccg) {
+            ccg = dots.in_sum;
+            have_ccg = true;
+          }
+          rx = dots.out_sum;
+        } else {
+          fftk.execute(buf.data(), res.data());
+          if (inj() != nullptr) {
+            inj()->apply(Phase::kMFftOutput, i, res.data(), k_);
+          }
+          rx = checksum::omega3_weighted_sum(res.data(), k_);
         }
-        const cplx rx = checksum::omega3_weighted_sum(res.data(), k_);
         ++stats_.verifications;
         if (std::abs(rx - ccg) <= eta) break;
         if (attempt >= opts_.max_retries) {
@@ -131,7 +181,11 @@ class InplaceRun {
         if (opts_.memory_ft) {
           if (repair_input_slot(i, buf.data())) {
             if (!opts_.combined_checksums) {
-              ccg = checksum::weighted_sum(ck_, buf.data(), k_);
+              if (fused != nullptr) {
+                have_ccg = false;  // re-derived in flight from repaired buf
+              } else {
+                ccg = checksum::weighted_sum(ck_, buf.data(), k_);
+              }
             }
             continue;
           }
@@ -182,6 +236,11 @@ class InplaceRun {
   // skipped when r == 1), then r protected k-point sub-FFTs.
   void layers2and3() {
     fft::Fft fftk(k_);
+    const fft::InplaceRadix2Plan* fused =
+        opts_.fused_checksums &&
+                (opts_.fused_ignore_profitability || fused_profitable(k_))
+            ? plan_.fused_plan_k()
+            : nullptr;
     std::vector<cplx> bb(blk_);   // staged block
     std::vector<cplx> seg(k_);    // layer-3 result staging
     std::vector<cplx> ra(r_), rb(r_), rc(r_);
@@ -219,18 +278,48 @@ class InplaceRun {
       // Layer 3: r contiguous k-point sub-FFTs within the staged block.
       for (std::size_t t = 0; t < r_; ++t) {
         cplx* src = bb.data() + t * k_;
-        const auto se = checksum::weighted_sum_energy(ck_, src, k_);
         const std::size_t unit = b * r_ + t;
-        const double eta = eta_comp(se.energy);
-        stats_.eta_k = std::max(stats_.eta_k, eta);
+        cplx ccg{0.0, 0.0};
+        double energy = 0.0;
+        bool have_ccg = false;
+        if (fused == nullptr) {
+          const auto se = checksum::weighted_sum_energy(ck_, src, k_);
+          ccg = se.sum;
+          energy = se.energy;
+          have_ccg = true;
+        }
+        // Fused: ccg and energy ride on the first fused pass, so the
+        // threshold is resolved lazily inside the loop.
+        double eta = -1.0;
         for (int attempt = 0;; ++attempt) {
-          fftk.execute(src, seg.data());
-          if (inj() != nullptr) {
-            inj()->apply(Phase::kKFftOutput, unit, seg.data(), k_);
+          cplx rx;
+          if (fused != nullptr) {
+            fft::InplaceRadix2Plan::FusedDots dots;
+            InjectorHook hook{inj(), Phase::kKFftOutput, unit};
+            fused->forward_fused(src, seg.data(), have_ccg ? nullptr : ck_,
+                                 plan_.weights_omega3_k(), dots,
+                                 inj() != nullptr ? &InjectorHook::call
+                                                  : nullptr,
+                                 &hook);
+            if (!have_ccg) {
+              ccg = dots.in_sum;
+              energy = dots.in_energy;
+              have_ccg = true;
+            }
+            rx = dots.out_sum;
+          } else {
+            fftk.execute(src, seg.data());
+            if (inj() != nullptr) {
+              inj()->apply(Phase::kKFftOutput, unit, seg.data(), k_);
+            }
+            rx = checksum::omega3_weighted_sum(seg.data(), k_);
           }
-          const cplx rx = checksum::omega3_weighted_sum(seg.data(), k_);
+          if (eta < 0.0) {
+            eta = eta_comp(energy);
+            stats_.eta_k = std::max(stats_.eta_k, eta);
+          }
           ++stats_.verifications;
-          if (std::abs(rx - se.sum) <= eta) break;
+          if (std::abs(rx - ccg) <= eta) break;
           if (attempt >= opts_.max_retries) {
             throw UncorrectableError(
                 "inplace ABFT: layer-3 sub-FFT kept failing verification");
@@ -242,8 +331,8 @@ class InplaceRun {
         // direct correction — an in-place plan has no backup to recompute
         // from once the block is overwritten).
         f1_[unit] = checksum::dual_weighted_sum(nullptr, seg.data(), k_);
-        fccv_[unit] = se.sum;
-        e_seg_[unit] = se.energy;
+        fccv_[unit] = ccg;
+        e_seg_[unit] = energy;
         std::memcpy(src, seg.data(), k_ * sizeof(cplx));
       }
       std::memcpy(block, bb.data(), blk_ * sizeof(cplx));

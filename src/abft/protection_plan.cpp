@@ -58,7 +58,28 @@ EtaCoeffs eta_coeffs(std::size_t n) {
           roundoff::practical_eta_memory_coeff(n)};
 }
 
+// Fused execution (forward_fused) needs the in-place schedule and wants a
+// final stage of len >= 8 to fuse the output dot into; smaller or
+// non-power-of-two sub-sizes keep the separate-pass path.
+bool fused_eligible(std::size_t n) { return n >= 8 && is_pow2(n); }
+
 }  // namespace
+
+bool fused_profitable(std::size_t n) noexcept {
+  // Inside the schemes every sub-FFT input was just staged (gathered rows,
+  // DMR-multiplied columns), so the separate checksum sweep the fusion
+  // would remove is a cache-resident re-read, not a DRAM pass — the fused
+  // win has to come from "copy + in-place engine" beating the out-of-place
+  // codelet executor by more than the copy costs on hot data. Measured
+  // (AVX2 dev box, min-of-9 x high-rep, hot buffers): loses at n <= 256
+  // (+2..+24%) and at n = 2048 (+9..+13%, the engine's L1-edge worst
+  // case); break-even at 4096; wins everywhere else (-12..-36%, the
+  // whole-array tail sizes from the streamed cs-stage on top). The
+  // whole-transform offline scheme is NOT gated: its input comes in cold
+  // and its interesting sizes live in the streaming tail regime where the
+  // in-kernel output dot saves a real DRAM sweep.
+  return n >= 512 && n != 2048;
+}
 
 ProtectionPlan::ProtectionPlan(std::size_t n, Scheme scheme,
                                const Options& opts)
@@ -69,6 +90,10 @@ ProtectionPlan::ProtectionPlan(std::size_t n, Scheme scheme,
       wm_ = checksum::shared_input_checksum_vector(n, opts.ra_method);
       eta_m_ = eta_coeffs(n);
       eta_whole_ = eta_m_;
+      if (fused_eligible(n)) {
+        fused_m_ = fft::InplaceRadix2Plan::get(n);
+        w3m_ = checksum::shared_comp_weights(n);
+      }
       break;
     }
     case Scheme::kOnline: {
@@ -79,6 +104,14 @@ ProtectionPlan::ProtectionPlan(std::size_t n, Scheme scheme,
       wk_ = checksum::shared_input_checksum_vector(k_, opts.ra_method);
       eta_m_ = eta_coeffs(m_);
       eta_k_ = eta_coeffs(k_);
+      if (fused_eligible(m_)) {
+        fused_m_ = fft::InplaceRadix2Plan::get(m_);
+        w3m_ = checksum::shared_comp_weights(m_);
+      }
+      if (fused_eligible(k_)) {
+        fused_k_ = fft::InplaceRadix2Plan::get(k_);
+        w3k_ = checksum::shared_comp_weights(k_);
+      }
       if (opts.contiguous_buffering) {
         layer1_batch_ = std::clamp<std::size_t>(
             kStageElems / m_, std::min<std::size_t>(4, k_), k_);
@@ -99,6 +132,10 @@ ProtectionPlan::ProtectionPlan(std::size_t n, Scheme scheme,
       eta_k_ = eta_coeffs(k_);
       eta_block_ = eta_coeffs(blk_);
       eta_whole_ = eta_coeffs(n);
+      if (fused_eligible(k_)) {
+        fused_k_ = fft::InplaceRadix2Plan::get(k_);
+        w3k_ = checksum::shared_comp_weights(k_);
+      }
       break;
     }
   }

@@ -24,6 +24,7 @@
 #include "abft/options.hpp"
 #include "checksum/weights.hpp"
 #include "common/complex.hpp"
+#include "fft/inplace_radix2.hpp"
 
 namespace ftfft::abft {
 
@@ -79,6 +80,32 @@ class ProtectionPlan {
     return wk_ ? wk_->data() : nullptr;
   }
 
+  // ---- Fused-checksum support (PR 6). Built unconditionally (the handles
+  // are shared cache references, so the marginal cost is a few pointers);
+  // whether a run uses them is Options::fused_checksums at execution time,
+  // which deliberately stays out of the plan cache key.
+
+  /// Shared in-place sub-plan for the first-layer size m (kOnline) /
+  /// the whole transform (kOffline); nullptr when the size is not a
+  /// power of two >= 8 (fused execution falls back to separate passes).
+  [[nodiscard]] const fft::InplaceRadix2Plan* fused_plan_m() const noexcept {
+    return fused_m_.get();
+  }
+  /// Same for the second-layer / outer size k.
+  [[nodiscard]] const fft::InplaceRadix2Plan* fused_plan_k() const noexcept {
+    return fused_k_.get();
+  }
+
+  /// Materialized omega3 output-weight vector (w[j] = omega_3^(j mod 3)) of
+  /// the matching size, consumed by the fused final-stage checksum kernels;
+  /// nullptr exactly when the matching fused plan is.
+  [[nodiscard]] const cplx* weights_omega3_m() const noexcept {
+    return w3m_ ? w3m_->data() : nullptr;
+  }
+  [[nodiscard]] const cplx* weights_omega3_k() const noexcept {
+    return w3k_ ? w3k_->data() : nullptr;
+  }
+
   /// Threshold coefficients: eta_m for the m-layer (kOnline) or the whole
   /// transform (kOffline); eta_k for the k-layer; eta_block / eta_whole for
   /// the in-place scheme's block window and final permutation guard.
@@ -117,10 +144,27 @@ class ProtectionPlan {
   std::size_t m_ = 0, k_ = 0, r_ = 0, blk_ = 0;
   std::shared_ptr<const std::vector<cplx>> wm_;
   std::shared_ptr<const std::vector<cplx>> wk_;
+  std::shared_ptr<const fft::InplaceRadix2Plan> fused_m_;
+  std::shared_ptr<const fft::InplaceRadix2Plan> fused_k_;
+  std::shared_ptr<const std::vector<cplx>> w3m_;
+  std::shared_ptr<const std::vector<cplx>> w3k_;
   EtaCoeffs eta_m_, eta_k_, eta_block_, eta_whole_;
   std::size_t layer1_batch_ = 1;
   std::size_t layer2_cols_ = 1;
 };
+
+/// Measured profitability gate for fused execution of one scheme-level
+/// sub-FFT. Scheme sub-inputs are staged cache-hot, so the sweep the
+/// fusion removes is cheap and the decision reduces to whether
+/// "copy + in-place engine" outruns the out-of-place executor on hot
+/// data: false for n <= 256 and n == 2048 (see protection_plan.cpp for
+/// the numbers). The online/in-place schemes fall back to the
+/// separate-pass path when this is false (unless
+/// Options::fused_ignore_profitability overrides for tests/benches); the
+/// decision is a pure function of the sub-size, so every retry and
+/// recomputation of the same unit picks the same engine. The offline
+/// whole-transform scheme is deliberately not gated.
+[[nodiscard]] bool fused_profitable(std::size_t n) noexcept;
 
 /// Resolves the cached plan the given options need for the out-of-place
 /// (inplace = false) or in-place entry point; nullptr for Mode::kNone

@@ -126,6 +126,27 @@ std::shared_ptr<const std::vector<cplx>> shared_input_checksum_vector(
   });
 }
 
+namespace {
+
+PlanRegistry<std::size_t, std::vector<cplx>>& comp_weights_registry() {
+  static PlanRegistry<std::size_t, std::vector<cplx>> registry(
+      plan_cache_capacity());
+  return registry;
+}
+
+const bool comp_weights_registry_registered =
+    (ftfft::detail::register_plan_cache(
+         [] { return comp_weights_registry().snapshot("comp-weights"); }),
+     true);
+
+}  // namespace
+
+std::shared_ptr<const std::vector<cplx>> shared_comp_weights(std::size_t n) {
+  return comp_weights_registry().get_or_build(n, [&] {
+    return std::make_shared<const std::vector<cplx>>(comp_weights(n));
+  });
+}
+
 std::uint64_t ra_generations() noexcept {
   return ra_generation_count.load(std::memory_order_relaxed);
 }

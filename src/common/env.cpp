@@ -1,15 +1,59 @@
 #include "common/env.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
 
 namespace ftfft {
+
+namespace {
+
+// A typo'd knob (FTFFT_COBRA_TILE_BITS=4x, an out-of-range value, ...) used
+// to be silently truncated by strtoull and could misconfigure a kernel;
+// now it falls back to the default and warns once per variable so the
+// message doesn't flood per-plan readers.
+void warn_bad_value(const char* name, const char* raw, const char* why) {
+  static std::mutex mu;
+  static std::set<std::string> warned;
+  std::lock_guard<std::mutex> lock(mu);
+  if (warned.insert(name).second) {
+    std::fprintf(stderr,
+                 "ftfft: ignoring %s=\"%s\" (%s); using the default\n", name,
+                 raw, why);
+  }
+}
+
+}  // namespace
 
 std::size_t env_size(const char* name, std::size_t fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
+  // strtoull accepts a leading '-' and wraps the value; reject it up front.
+  const char* p = raw;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p == '-') {
+    warn_bad_value(name, raw, "negative value for a non-negative knob");
+    return fallback;
+  }
   char* end = nullptr;
+  errno = 0;
   const unsigned long long v = std::strtoull(raw, &end, 10);
-  if (end == raw) return fallback;
+  if (end == raw) {
+    warn_bad_value(name, raw, "not a number");
+    return fallback;
+  }
+  if (*end != '\0') {
+    warn_bad_value(name, raw, "trailing garbage after the number");
+    return fallback;
+  }
+  if (errno == ERANGE || v > static_cast<unsigned long long>(
+                                 static_cast<std::size_t>(-1))) {
+    warn_bad_value(name, raw, "value out of range");
+    return fallback;
+  }
   return static_cast<std::size_t>(v);
 }
 
@@ -17,9 +61,36 @@ long env_long(const char* name, long fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const long v = std::strtol(raw, &end, 10);
-  if (end == raw) return fallback;
+  if (end == raw) {
+    warn_bad_value(name, raw, "not a number");
+    return fallback;
+  }
+  if (*end != '\0') {
+    warn_bad_value(name, raw, "trailing garbage after the number");
+    return fallback;
+  }
+  if (errno == ERANGE) {
+    warn_bad_value(name, raw, "value out of range");
+    return fallback;
+  }
   return v;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  if (std::strcmp(raw, "1") == 0 || std::strcmp(raw, "on") == 0 ||
+      std::strcmp(raw, "true") == 0 || std::strcmp(raw, "yes") == 0) {
+    return true;
+  }
+  if (std::strcmp(raw, "0") == 0 || std::strcmp(raw, "off") == 0 ||
+      std::strcmp(raw, "false") == 0 || std::strcmp(raw, "no") == 0) {
+    return false;
+  }
+  warn_bad_value(name, raw, "not a boolean (1/0/on/off/true/false/yes/no)");
+  return fallback;
 }
 
 std::size_t plan_cache_capacity() {

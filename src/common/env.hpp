@@ -15,6 +15,12 @@
 // by fft::default_inplace_tuning(); see fft/inplace_radix2.hpp for the
 // defaults and their rationale.
 //
+// FTFFT_FUSED_CHECKSUMS ("1"/"on"/"true"/"yes" to enable) flips the default
+// of abft::Options::fused_checksums: the protected transforms accumulate
+// their checksum dots inside the butterfly kernels (TurboFFT-style) instead
+// of separate sweeps. Off by default; the separate-pass path remains the
+// reference. Read when an Options struct is constructed.
+//
 // FTFFT_ENGINE_THREADS sets the worker count of every engine::BatchEngine
 // constructed with num_threads = 0 — including the process-wide shared()
 // engine behind the single-shot wrappers — so tests, CI and co-tenant
@@ -34,11 +40,19 @@
 
 namespace ftfft {
 
-/// Reads a non-negative integer env var; returns fallback when unset/bad.
+/// Reads a non-negative integer env var; returns fallback when unset. A
+/// malformed value — trailing garbage ("4x"), a negative number, or one out
+/// of range — also returns the fallback and warns on stderr once per
+/// variable instead of silently truncating.
 std::size_t env_size(const char* name, std::size_t fallback);
 
-/// Reads a (possibly negative) integer env var.
+/// Reads a (possibly negative) integer env var; same validation rules.
 long env_long(const char* name, long fallback);
+
+/// Reads a boolean env var ("1"/"on"/"true"/"yes" vs "0"/"off"/"false"/
+/// "no"); unset or unrecognized values return the fallback (with the same
+/// warn-once on unrecognized text).
+bool env_flag(const char* name, bool fallback);
 
 /// LRU capacity for each process-wide plan cache, from FTFFT_PLAN_CACHE_CAP
 /// (default generous; 0 = unbounded). Read once at first use.

@@ -341,7 +341,12 @@ struct BatchEngine::Impl {
       report.errors[index] = "lane cancelled before execution";
       report.exceptions[index] = std::make_exception_ptr(
           CancelledError("BatchEngine: lane cancelled before execution"));
-      job.cancelled.fetch_add(1, std::memory_order_relaxed);
+      // Release pairs with the acquire load in finish(): the finishing
+      // worker must observe every increment (and the error slots written
+      // above) without leaning on the release sequence of `remaining` —
+      // the relaxed/relaxed pair this replaces left the count's visibility
+      // an accident of the completion counter's ordering.
+      job.cancelled.fetch_add(1, std::memory_order_release);
       return;
     }
     const Lane& lane = job.lanes[index];
@@ -385,7 +390,8 @@ struct BatchEngine::Impl {
     detail::BatchShared& state = *job.state;
     try {
       BatchReport& report = state.report;
-      report.cancelled_lanes = job.cancelled.load(std::memory_order_relaxed);
+      // Acquire pairs with the release increments in run_lane's cancel path.
+      report.cancelled_lanes = job.cancelled.load(std::memory_order_acquire);
       for (std::size_t i = 0; i < report.lanes; ++i) {
         if (report.errors[i].empty()) {
           accumulate(report.totals, report.per_lane[i]);

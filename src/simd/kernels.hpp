@@ -92,6 +92,27 @@ struct FftKernels {
   void (*dft4)(const cplx* in, std::size_t is, cplx* out);
   void (*dft8)(const cplx* in, std::size_t is, cplx* out);
   void (*dft16)(const cplx* in, std::size_t is, cplx* out);
+  // ---- Fused-checksum variants (forward-only; see InplaceRadix2Plan::
+  // forward_fused). The butterfly math is identical to radix4_stage /
+  // radix16_stage at scale == 1; the extra checksum reduction's summation
+  // order is documented in kernels_impl.hpp and checksum/dot.hpp.
+  /// radix4_stage (forward, scale 1) that also returns
+  /// sum_j cw[j] * data'[j] over the stage's outputs (cw: n entries).
+  cplx (*radix4_stage_cs)(cplx* data, std::size_t n, std::size_t len,
+                          const cplx* w1, const cplx* w2, const cplx* cw);
+  /// radix16_stage (forward, scale 1) with the same fused reduction.
+  cplx (*radix16_stage_cs)(cplx* data, std::size_t n, std::size_t len,
+                           const cplx* w1a, const cplx* w2a, const cplx* w1b,
+                           const cplx* w2b, const cplx* cw);
+  /// dst = src fused with the weighted input checksum + energy (w == nullptr
+  /// degrades to a plain copy): the opener of forward_fused. Keeps the exact
+  /// accumulator structure of weighted_sum_energy, so the fused input dot is
+  /// bit-identical to the separate sweep on the same backend. (Permute-fused
+  /// scalar openers with the dot on the scattered writes were tried first
+  /// and removed: slower than copy + the engine's vectorized openers at
+  /// every cache-resident size.)
+  void (*copy_weighted_sum_energy)(cplx* dst, const cplx* src, const cplx* w,
+                                   std::size_t n, cplx* sum, double* energy);
 };
 
 /// Backend tables. A getter returns nullptr when that backend is not

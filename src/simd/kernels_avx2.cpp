@@ -205,6 +205,9 @@ constexpr FftKernels kAvx2Fft = {
     a_dft4,
     a_dft8,
     a_dft16,
+    impl::k_radix4_stage_cs<V>,
+    impl::k_radix16_stage_cs<V>,
+    impl::k_copy_weighted_sum_energy<V>,
 };
 
 constexpr ChecksumKernels kAvx2Checksum = {

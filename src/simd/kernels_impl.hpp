@@ -538,6 +538,143 @@ void k_radix16_stage(cplx* data, std::size_t n, std::size_t len,
   }
 }
 
+// ================================== fused-checksum stage variants (PR 6)
+//
+// TurboFFT-style fusion: the final butterfly stage of the in-place forward
+// schedule accumulates the weighted output checksum sum_j cw[j] * y[j] in
+// spare vector registers while the freshly computed outputs are still in
+// flight, replacing the separate omega3 sweep of checksum/dot.cpp. The
+// butterfly math is radix4_butterfly — the exact operation sequence of
+// k_radix4_stage_t / k_radix16_stage_t — so the transform outputs stay
+// bit-identical to the unfused kernels on every backend. The checksum
+// reduction itself uses four independent accumulators fed in store order
+// (one per output quarter / residue lane), which is a different summation
+// order from the 3-bucket omega3_weighted_sum trick: the difference is
+// ordinary re-association round-off, O(eps * sum |cw_j y_j|), absorbed by
+// the detection thresholds exactly like the backend-to-backend variance
+// documented in checksum/dot.hpp. The fused *input* dot instead rides the
+// src -> dst copy (k_copy_weighted_sum_energy below) with the exact
+// accumulator structure of k_weighted_sum_energy, so it is bit-identical to
+// the separate input sweep on the same backend; like every vectorized dot,
+// it differs across backends only by lane-count re-association.
+
+/// One fused radix-4 stage (forward, unscaled) that also returns
+/// sum_j cw[j] * data'[j] over the stage's freshly written outputs.
+/// Preconditions match k_radix4_stage_t; cw must have n entries.
+template <class V>
+cplx k_radix4_stage_cs(cplx* data, std::size_t n, std::size_t len,
+                       const cplx* w1, const cplx* w2, const cplx* cw) {
+  const std::size_t quarter = len >> 2;
+  V acc0 = V::zero(), acc1 = V::zero(), acc2 = V::zero(), acc3 = V::zero();
+  for (std::size_t base = 0; base < n; base += len) {
+    cplx* p = data + base;
+    const cplx* cp = cw + base;
+    for (std::size_t j = 0; j < quarter; j += V::width) {
+      const V vw1 = V::load(w1 + j);
+      const V vw2 = V::load(w2 + j);
+      V a = V::load(p + j);
+      V b = V::load(p + j + quarter);
+      V c = V::load(p + j + 2 * quarter);
+      V d = V::load(p + j + 3 * quarter);
+      radix4_butterfly<V, false>(a, b, c, d, vw1, vw2);
+      a.store(p + j);
+      b.store(p + j + quarter);
+      c.store(p + j + 2 * quarter);
+      d.store(p + j + 3 * quarter);
+      acc0 = acc0 + V::load(cp + j).cmul(a);
+      acc1 = acc1 + V::load(cp + j + quarter).cmul(b);
+      acc2 = acc2 + V::load(cp + j + 2 * quarter).cmul(c);
+      acc3 = acc3 + V::load(cp + j + 3 * quarter).cmul(d);
+    }
+  }
+  return ((acc0 + acc1) + (acc2 + acc3)).hsum();
+}
+
+/// Fused radix-16 stage (forward, unscaled) with the same in-register
+/// checksum accumulation; bit-identical transform to k_radix16_stage_t.
+template <class V>
+cplx k_radix16_stage_cs(cplx* data, std::size_t n, std::size_t len,
+                        const cplx* w1a, const cplx* w2a, const cplx* w1b,
+                        const cplx* w2b, const cplx* cw) {
+  const std::size_t e = len >> 4;
+  V acc[4] = {V::zero(), V::zero(), V::zero(), V::zero()};
+  for (std::size_t base = 0; base < n; base += len) {
+    cplx* p = data + base;
+    const cplx* cp = cw + base;
+    for (std::size_t j = 0; j < e; j += V::width) {
+      const V vw1a = V::load(w1a + j);
+      const V vw2a = V::load(w2a + j);
+      V x[16];
+      for (std::size_t k = 0; k < 16; ++k) {
+        x[k] = V::load(p + j + k * e);
+      }
+      for (std::size_t m = 0; m < 4; ++m) {
+        radix4_butterfly<V, false>(x[4 * m], x[4 * m + 1], x[4 * m + 2],
+                                   x[4 * m + 3], vw1a, vw2a);
+      }
+      for (std::size_t m = 0; m < 4; ++m) {
+        const V vw1b = V::load(w1b + j + m * e);
+        const V vw2b = V::load(w2b + j + m * e);
+        radix4_butterfly<V, false>(x[m], x[m + 4], x[m + 8], x[m + 12], vw1b,
+                                   vw2b);
+      }
+      for (std::size_t k = 0; k < 16; ++k) {
+        x[k].store(p + j + k * e);
+        acc[k % 4] = acc[k % 4] + V::load(cp + j + k * e).cmul(x[k]);
+      }
+    }
+  }
+  return ((acc[0] + acc[1]) + (acc[2] + acc[3])).hsum();
+}
+
+/// dst = src copied in one pass, fused with the weighted input checksum and
+/// energy over the same stream (the COBRA-path opener of forward_fused: the
+/// tiled permutation needs the data in dst first, so the input dot rides on
+/// the copy instead of a separate sweep). w == nullptr skips the reductions
+/// and degrades to a plain copy. Accumulator layout matches
+/// k_weighted_sum_energy, so at equal width the sum is bit-identical to it.
+template <class V>
+void k_copy_weighted_sum_energy(cplx* dst, const cplx* src, const cplx* w,
+                                std::size_t n, cplx* sum, double* energy) {
+  constexpr std::size_t W = V::width;
+  std::size_t j = 0;
+  if (w == nullptr) {
+    for (; j + 2 * W <= n; j += 2 * W) {
+      V::load(src + j).store(dst + j);
+      V::load(src + j + W).store(dst + j + W);
+    }
+    for (; j < n; ++j) dst[j] = src[j];
+    return;
+  }
+  V s0 = V::zero(), s1 = V::zero();
+  V e0 = V::zero(), e1 = V::zero();
+  for (; j + 2 * W <= n; j += 2 * W) {
+    const V v0 = V::load(src + j);
+    const V v1 = V::load(src + j + W);
+    v0.store(dst + j);
+    v1.store(dst + j + W);
+    s0 = s0 + V::load(w + j).cmul(v0);
+    s1 = s1 + V::load(w + j + W).cmul(v1);
+    e0 = v0.fmadd_elem(v0, e0);
+    e1 = v1.fmadd_elem(v1, e1);
+  }
+  for (; j + W <= n; j += W) {
+    const V v0 = V::load(src + j);
+    v0.store(dst + j);
+    s0 = s0 + V::load(w + j).cmul(v0);
+    e0 = v0.fmadd_elem(v0, e0);
+  }
+  cplx acc = (s0 + s1).hsum();
+  double eacc = (e0 + e1).hsum_slots();
+  for (; j < n; ++j) {
+    dst[j] = src[j];
+    acc += cmul(w[j], src[j]);
+    eacc += norm2(src[j]);
+  }
+  *sum = acc;
+  *energy = eacc;
+}
+
 // ============================================== vertical DFTs for combine
 
 // The codelet math from dft/codelets.cpp transliterated onto vectors: each

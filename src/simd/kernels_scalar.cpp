@@ -154,6 +154,9 @@ constexpr FftKernels kScalarFft = {
     nullptr,  // dft4: width-1 backend, scalar codelets are already optimal
     nullptr,  // dft8
     nullptr,  // dft16
+    impl::k_radix4_stage_cs<V>,
+    impl::k_radix16_stage_cs<V>,
+    impl::k_copy_weighted_sum_energy<V>,
 };
 
 constexpr ChecksumKernels kScalarChecksum = {

@@ -10,6 +10,7 @@
 #include "dft/reference_dft.hpp"
 #include "fault/injector.hpp"
 #include "fft/fft.hpp"
+#include "fft/inplace_radix2.hpp"
 
 namespace ftfft {
 namespace {
@@ -33,11 +34,20 @@ void expect_matches_reference(const std::vector<cplx>& x,
 TEST(OfflineAbft, FaultFreeMatchesPlainFftExactly) {
   const std::size_t n = 512;
   auto x = random_vector(n, InputDistribution::kUniform, 1);
-  auto plain = fft::fft(x);
+  const Options opts = Options::offline_opt(false);
+  // The protection layer must be bitwise transparent to the engine it
+  // wraps: the out-of-place executor normally, the in-place engine when
+  // FTFFT_FUSED_CHECKSUMS routes execution through forward_fused.
+  std::vector<cplx> plain;
+  if (opts.fused_checksums) {
+    plain = x;
+    fft::InplaceRadix2Plan::get(n)->forward(plain.data());
+  } else {
+    plain = fft::fft(x);
+  }
   std::vector<cplx> out(n);
   Stats stats;
-  abft::offline_transform(x.data(), out.data(), n, Options::offline_opt(false),
-                          stats);
+  abft::offline_transform(x.data(), out.data(), n, opts, stats);
   for (std::size_t j = 0; j < n; ++j) EXPECT_EQ(out[j], plain[j]) << j;
   EXPECT_EQ(stats.full_restarts, 0u);
   EXPECT_EQ(stats.comp_errors_detected, 0u);

@@ -68,6 +68,54 @@ TEST(Env, ParsesAndFallsBack) {
   ::unsetenv("FTFFT_TEST_LONG");
 }
 
+TEST(Env, RejectsTrailingGarbage) {
+  // "4x" used to strtoul-truncate to 4; a typo'd knob must fall back (and
+  // warn once), never half-apply.
+  ::setenv("FTFFT_TEST_SIZE", "4x", 1);
+  EXPECT_EQ(env_size("FTFFT_TEST_SIZE", 7), 7u);
+  ::setenv("FTFFT_TEST_SIZE", "123abc", 1);
+  EXPECT_EQ(env_size("FTFFT_TEST_SIZE", 7), 7u);
+  ::setenv("FTFFT_TEST_SIZE", "1 2", 1);
+  EXPECT_EQ(env_size("FTFFT_TEST_SIZE", 7), 7u);
+  ::unsetenv("FTFFT_TEST_SIZE");
+  ::setenv("FTFFT_TEST_LONG", "-3x", 1);
+  EXPECT_EQ(env_long("FTFFT_TEST_LONG", 5), 5);
+  ::unsetenv("FTFFT_TEST_LONG");
+}
+
+TEST(Env, RejectsOutOfRangeAndNegative) {
+  // Way past both long and size_t on any supported platform.
+  ::setenv("FTFFT_TEST_SIZE", "99999999999999999999999999", 1);
+  EXPECT_EQ(env_size("FTFFT_TEST_SIZE", 7), 7u);
+  // A negative count is invalid for the unsigned reader (strtoul would
+  // silently wrap it to a huge value).
+  ::setenv("FTFFT_TEST_SIZE", "-4", 1);
+  EXPECT_EQ(env_size("FTFFT_TEST_SIZE", 7), 7u);
+  ::unsetenv("FTFFT_TEST_SIZE");
+  ::setenv("FTFFT_TEST_LONG", "99999999999999999999999999", 1);
+  EXPECT_EQ(env_long("FTFFT_TEST_LONG", -2), -2);
+  ::setenv("FTFFT_TEST_LONG", "-99999999999999999999999999", 1);
+  EXPECT_EQ(env_long("FTFFT_TEST_LONG", -2), -2);
+  ::unsetenv("FTFFT_TEST_LONG");
+}
+
+TEST(Env, FlagParsesSpellingsAndFallsBack) {
+  for (const char* on : {"1", "on", "true", "yes"}) {
+    ::setenv("FTFFT_TEST_FLAG", on, 1);
+    EXPECT_TRUE(env_flag("FTFFT_TEST_FLAG", false)) << on;
+  }
+  for (const char* off : {"0", "off", "false", "no"}) {
+    ::setenv("FTFFT_TEST_FLAG", off, 1);
+    EXPECT_FALSE(env_flag("FTFFT_TEST_FLAG", true)) << off;
+  }
+  ::setenv("FTFFT_TEST_FLAG", "maybe", 1);
+  EXPECT_TRUE(env_flag("FTFFT_TEST_FLAG", true));
+  EXPECT_FALSE(env_flag("FTFFT_TEST_FLAG", false));
+  ::unsetenv("FTFFT_TEST_FLAG");
+  EXPECT_TRUE(env_flag("FTFFT_TEST_FLAG", true));
+  EXPECT_FALSE(env_flag("FTFFT_TEST_FLAG", false));
+}
+
 TEST(Env, ScaledSizeShifts) {
   ::setenv("FTFFT_BENCH_SCALE", "2", 1);
   EXPECT_EQ(scaled_size(1024), 4096u);

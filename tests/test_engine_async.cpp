@@ -327,6 +327,45 @@ TEST(AsyncEngine, CancelSkipsQueuedLanesWithCancelledTaxonomy) {
   EXPECT_TRUE(after_report.all_ok());
 }
 
+TEST(AsyncEngine, MidRunCancellationPublishesConsistentCancelCounts) {
+  // Regression for the finisher's read of the per-job cancelled counter:
+  // when a cancel lands while workers are mid-batch, some lanes complete
+  // and some skip, and the worker that finishes the job must observe every
+  // increment the skipping workers published (release increments paired
+  // with the finisher's acquire load — it previously leaned on the
+  // completion counter's ordering by accident). Run under TSan in CI.
+  const std::size_t n = 1 << 12;
+  const abft::Options opts = abft::Options::online_opt(true);
+  engine::BatchEngine eng(4);
+  engine::BatchOptions bopts;
+  bopts.abft = opts;
+  for (int round = 0; round < 8; ++round) {
+    Workload work(16, n, 7000 + 10 * round);
+    auto fut = eng.submit_batch(work.lanes, n, bopts);
+    auto ticket = fut.ticket();
+    std::thread canceller([&] { ticket.cancel(); });
+    const auto report = fut.get();
+    canceller.join();
+    EXPECT_TRUE(ticket.cancelled());
+    // The finisher's tally must agree with the per-lane error slots even
+    // when the cancel raced the last lanes of the batch.
+    std::size_t cancelled = 0;
+    for (std::size_t l = 0; l < report.lanes; ++l) {
+      if (!report.exceptions[l]) {
+        // Completed lane: bit-identical result, untouched by the cancel.
+        EXPECT_TRUE(report.errors[l].empty()) << "lane=" << l;
+        continue;
+      }
+      EXPECT_THROW(std::rethrow_exception(report.exceptions[l]),
+                   CancelledError)
+          << "round=" << round << " lane=" << l;
+      ++cancelled;
+    }
+    EXPECT_EQ(report.cancelled_lanes, cancelled) << "round=" << round;
+    EXPECT_EQ(report.failed_lanes, cancelled) << "round=" << round;
+  }
+}
+
 TEST(AsyncEngine, DestructionDrainsInFlightJobs) {
   const std::size_t n = 1024;
   const abft::Options opts = abft::Options::online_opt(true);
