@@ -127,6 +127,10 @@ cplx omega3_weighted_sum(const cplx* x, std::size_t n, std::size_t stride) {
   return b0 + cmul(omega3_pow(1), b1) + cmul(omega3_pow(2), b2);
 }
 
+DualSum copy_dual_sum(cplx* dst, const cplx* src, std::size_t n) {
+  return simd::checksum_kernels().copy_dual_sum(dst, src, n);
+}
+
 SumEnergy weighted_sum_energy(const cplx* w, const cplx* x, std::size_t n,
                               std::size_t stride) {
   if (stride == 1) return simd::checksum_kernels().weighted_sum_energy(w, x, n);

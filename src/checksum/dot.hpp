@@ -100,4 +100,11 @@ struct DualSumRobust {
 [[nodiscard]] DualSumRobust dual_plain_sum_robust(const cplx* x, std::size_t n,
                                                   std::size_t stride = 1);
 
+/// dst = src (contiguous, non-overlapping) copied in one pass fused with the
+/// all-ones dual checksum of the stream. The sums are bit-identical to
+/// dual_weighted_sum(nullptr, src, n) on the same backend (the kernels share
+/// the accumulator structure); the parallel transpose uses this so the
+/// message checksum rides the pack/unpack copy instead of a second sweep.
+DualSum copy_dual_sum(cplx* dst, const cplx* src, std::size_t n);
+
 }  // namespace ftfft::checksum

@@ -37,6 +37,17 @@ class CancelledError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Thrown by the parallel runtime when a simulated rank fails outright
+/// (NetworkModel::fail_rank — a modeled node loss, not a data fault). The
+/// engine-sharded path can absorb a bounded number of these by restarting
+/// the transform from its input (ParallelOptions::max_rank_restarts); the
+/// thread-per-rank reference path always propagates it.
+class RankFailedError : public std::runtime_error {
+ public:
+  explicit RankFailedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 namespace detail {
 inline void require(bool cond, const char* msg) {
   if (!cond) throw std::invalid_argument(msg);

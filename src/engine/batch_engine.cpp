@@ -251,11 +251,21 @@ struct BatchEngine::Impl {
     std::exception_ptr plan_error;
     std::exception_ptr plan_inplace_error;
     std::shared_ptr<detail::BatchShared> state;
+    // Generic task job (submit_tasks): when `task` is set, `lanes` stays
+    // empty and `task_count` work items run through it instead of
+    // run_lane — same cursor/chunk claiming, same cancellation, same
+    // per-item failure isolation.
+    std::function<void(std::size_t, abft::Stats&)> task;
+    std::size_t task_count = 0;
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::size_t> remaining{0};
     std::atomic<std::size_t> cancelled{0};
     std::size_t chunk = 1;
     std::shared_ptr<Job> next;  // FIFO link, guarded by mu_
+
+    [[nodiscard]] std::size_t item_count() const noexcept {
+      return task ? task_count : lanes.size();
+    }
   };
 
   explicit Impl(std::size_t num_threads)
@@ -307,14 +317,20 @@ struct BatchEngine::Impl {
   // while stragglers finish this one) and, if this worker ran the job's
   // final lane, fulfills its future.
   void work_on(Job& job, Arena& arena) {
-    const std::size_t count = job.lanes.size();
+    const std::size_t count = job.item_count();
     std::size_t done = 0;
     for (;;) {
       const std::size_t begin =
           job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
       if (begin >= count) break;
       const std::size_t end = std::min(begin + job.chunk, count);
-      for (std::size_t i = begin; i < end; ++i) run_lane(job, i, arena);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (job.task) {
+          run_task(job, i);
+        } else {
+          run_lane(job, i, arena);
+        }
+      }
       done += end - begin;
     }
     {
@@ -332,6 +348,28 @@ struct BatchEngine::Impl {
     if (done > 0 &&
         job.remaining.fetch_sub(done, std::memory_order_acq_rel) == done) {
       finish(job);
+    }
+  }
+
+  // One generic work item: the cancellation and failure-isolation contract
+  // of run_lane, minus staging and plan state (the callable brings its own).
+  void run_task(Job& job, std::size_t index) {
+    BatchReport& report = job.state->report;
+    if (job.state->cancel.load(std::memory_order_relaxed)) {
+      report.errors[index] = "task cancelled before execution";
+      report.exceptions[index] = std::make_exception_ptr(
+          CancelledError("BatchEngine: task cancelled before execution"));
+      job.cancelled.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    try {
+      job.task(index, report.per_lane[index]);
+    } catch (const std::exception& e) {
+      report.errors[index] = e.what();
+      report.exceptions[index] = std::current_exception();
+    } catch (...) {
+      report.errors[index] = "unknown exception";
+      report.exceptions[index] = std::current_exception();
     }
   }
 
@@ -475,30 +513,60 @@ struct BatchEngine::Impl {
     return {std::move(job), std::move(state)};
   }
 
-  BatchFuture submit(std::span<const Lane> lanes, std::size_t n,
-                     const BatchOptions& opts) {
-    MadeJob made = make_job(lanes, n, opts);
-    if (made.job == nullptr) return BatchFuture(std::move(made.state));
-    const std::size_t count = made.job->lanes.size();
-    const std::size_t chunk = made.job->chunk;
+  // Appends a made job to the FIFO and wakes workers. Wake only as many as
+  // the job has chunks to claim — a stream of small jobs must not
+  // thundering-herd the whole pool awake. Workers already running re-check
+  // the queue before parking, so no job is ever stranded by waking too few.
+  void enqueue(std::shared_ptr<Job> job) {
+    const std::size_t count = job->item_count();
+    const std::size_t chunk = job->chunk;
     {
       std::scoped_lock lock(mu_);
       spawn_workers_locked();
       if (tail_ == nullptr) {
-        head_ = made.job;
+        head_ = job;
       } else {
-        tail_->next = made.job;
+        tail_->next = job;
       }
-      tail_ = made.job.get();
+      tail_ = job.get();
     }
-    // Wake only as many workers as the job has chunks to claim — a stream
-    // of small jobs must not thundering-herd the whole pool awake. Workers
-    // already running re-check the queue before parking, so no job is ever
-    // stranded by waking too few.
     const std::size_t wakes =
         std::min(num_threads_, (count + chunk - 1) / chunk);
     for (std::size_t i = 0; i < wakes; ++i) cv_work_.notify_one();
+  }
+
+  BatchFuture submit(std::span<const Lane> lanes, std::size_t n,
+                     const BatchOptions& opts) {
+    MadeJob made = make_job(lanes, n, opts);
+    if (made.job == nullptr) return BatchFuture(std::move(made.state));
+    enqueue(std::move(made.job));
     return BatchFuture(std::move(made.state));
+  }
+
+  BatchFuture submit_tasks(std::size_t count,
+                           std::function<void(std::size_t, abft::Stats&)> fn,
+                           std::size_t chunk) {
+    ftfft::detail::require(fn != nullptr,
+                           "BatchEngine::submit_tasks: null callable");
+    auto state = std::make_shared<detail::BatchShared>();
+    BatchReport& report = state->report;
+    report.lanes = count;
+    report.per_lane.resize(count);
+    report.errors.resize(count);
+    report.exceptions.resize(count);
+    if (count == 0) {
+      state->ready = true;
+      return BatchFuture(std::move(state));
+    }
+    auto job = std::make_shared<Job>();
+    job->task = std::move(fn);
+    job->task_count = count;
+    job->state = state;
+    job->remaining.store(count, std::memory_order_relaxed);
+    job->chunk = pick_chunk(count, num_threads_, chunk);
+    inflight_jobs_.fetch_add(1, std::memory_order_relaxed);
+    enqueue(std::move(job));
+    return BatchFuture(std::move(state));
   }
 
   // Blocking entry point. A single lane that needs no staging (the
@@ -566,6 +634,12 @@ BatchFuture BatchEngine::submit_batch(cplx* in, cplx* out, std::size_t n,
                                       std::size_t count,
                                       const BatchOptions& opts) {
   return impl_->submit(pack_lanes(in, out, n, count), n, opts);
+}
+
+BatchFuture BatchEngine::submit_tasks(
+    std::size_t count, std::function<void(std::size_t, abft::Stats&)> fn,
+    std::size_t chunk) {
+  return impl_->submit_tasks(count, std::move(fn), chunk);
 }
 
 BatchReport BatchEngine::transform_batch(std::span<const Lane> lanes,

@@ -209,6 +209,22 @@ class BatchEngine {
   BatchFuture submit_batch(cplx* in, cplx* out, std::size_t n,
                            std::size_t count, const BatchOptions& opts = {});
 
+  /// Queues `count` generic work items through the same worker pool, FIFO
+  /// queue and completion machinery as transform batches: item i runs
+  /// fn(i, stats_i) on a worker thread, where stats_i is the item's
+  /// pre-sized BatchReport::per_lane slot. A throw from fn is recorded in
+  /// the report (errors/exceptions slot i) and does not disturb other
+  /// items; cancellation via the ticket skips unstarted items exactly like
+  /// lanes. `fn` is shared by concurrent workers and must be safe to call
+  /// from several threads with distinct indices. This is how the sharded
+  /// parallel FFT runs its rank phases on the pool (parallel/sharded_fft):
+  /// phase work items are plain callables, not transform lanes, so they
+  /// must not re-enter this engine synchronously (a blocking wait inside
+  /// fn on this engine's own futures can deadlock the pool).
+  BatchFuture submit_tasks(std::size_t count,
+                           std::function<void(std::size_t, abft::Stats&)> fn,
+                           std::size_t chunk = 0);
+
   /// Blocking convenience: submit_batch(...).get(), with one shortcut — a
   /// single lane that needs no staging (no preserve_inputs, out != in)
   /// runs inline on the calling thread through the same worker code path,

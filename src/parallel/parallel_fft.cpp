@@ -13,35 +13,19 @@
 #include "common/math_util.hpp"
 #include "fft/fft.hpp"
 #include "abft/inplace.hpp"
+#include "parallel/parallel_plan.hpp"
 #include "roundoff/model.hpp"
 
 namespace ftfft::parallel {
 namespace {
 
 using checksum::DualSum;
+using detail::plain_twiddle;
+using detail::sigma_of;
 
 constexpr int kTagT1 = 100;
 constexpr int kTagT2 = 200;
 constexpr int kTagT3 = 300;
-
-// Unprotected twiddle: block[u] *= scale * omega_N^(u*step), recurrence with
-// periodic resync (single pass, no redundancy).
-void plain_twiddle(cplx* block, std::size_t len, std::size_t n,
-                   std::size_t step, cplx scale) {
-  const cplx base = omega(n, step);
-  cplx w = scale;
-  for (std::size_t u = 0; u < len; ++u) {
-    if (u % 64 == 0) {
-      w = cmul(scale, omega(n, static_cast<std::uint64_t>(u) * step));
-    }
-    block[u] = cmul(block[u], w);
-    w = cmul(w, base);
-  }
-}
-
-double sigma_of(double energy, std::size_t n) {
-  return std::sqrt(energy / (2.0 * static_cast<double>(n)) + 1e-300);
-}
 
 struct RankOutcome {
   abft::Stats stats;
@@ -53,11 +37,12 @@ struct RankOutcome {
 class RankRun {
  public:
   RankRun(RankCtx& ctx, const std::vector<cplx>& input, std::vector<cplx>& out,
-          const ParallelOptions& opts)
+          const ParallelOptions& opts, const ParallelPlan& plan)
       : ctx_(ctx),
         input_(input),
         out_(out),
         opts_(opts),
+        plan_(plan),
         p_(ctx.nranks()),
         r_(ctx.rank()),
         n_(input.size()),
@@ -69,8 +54,6 @@ class RankRun {
     std::memcpy(local_.data(), input_.data() + r_ * n_loc_,
                 n_loc_ * sizeof(cplx));
     if (opts_.protect) {
-      cp_ = checksum::input_checksum_vector_dmr(
-          p_, checksum::RaGenMethod::kClosedForm);
       s1_.assign(bsz_, cplx{0, 0});
       s2_.assign(bsz_, cplx{0, 0});
       e_col_.assign(bsz_, 0.0);
@@ -100,9 +83,10 @@ class RankRun {
     t.overlap = opts_.overlap;
     t.eta = block_eta();
     t.max_retries = opts_.max_retries;
+    t.phase = 1;
     if (opts_.protect) {
       t.on_block = [this](std::size_t src, cplx* block, std::size_t len) {
-        const cplx w = cp_[src];
+        const cplx w = plan_.cp()[src];
         const double sd = static_cast<double>(src);
         for (std::size_t u = 0; u < len; ++u) {
           const cplx pterm = cmul(w, block[u]);
@@ -128,10 +112,14 @@ class RankRun {
         for (std::size_t t = 0; t < p_; ++t) local_[t * bsz_ + u] = res[t];
         continue;
       }
-      const double eta =
-          opts_.eta_override > 0.0
-              ? opts_.eta_override
-              : roundoff::practical_eta(p_, sigma_of(e_col_[u], p_));
+      // eta_from_coeff(practical_eta_coeff(p), s) == practical_eta(p, s)
+      // bit-for-bit (roundoff/model.hpp), so reading the coefficient off
+      // the plan changes nothing but the per-column trig re-derivation.
+      const double eta = opts_.eta_override > 0.0
+                             ? opts_.eta_override
+                             : roundoff::eta_from_coeff(
+                                   plan_.eta_fft1_coeff(),
+                                   sigma_of(e_col_[u], p_));
       stats_.eta_m = std::max(stats_.eta_m, eta);
       const DualSum stored{s1_[u], s2_[u]};
       for (int attempt = 0;; ++attempt) {
@@ -148,7 +136,7 @@ class RankRun {
         ++stats_.sub_fft_retries;
         // Memory-vs-compute discrimination on the backed-up input.
         const auto rep = checksum::repair_single_error(
-            stored, buf.data(), 1, cp_.data(), p_, eta, opts_.max_retries);
+            stored, buf.data(), 1, plan_.cp(), p_, eta, opts_.max_retries);
         if (rep.mismatch) {
           ++stats_.mem_errors_detected;
           if (!rep.corrected) {
@@ -174,6 +162,7 @@ class RankRun {
     t.overlap = opts_.overlap;
     t.eta = block_eta();
     t.max_retries = opts_.max_retries;
+    t.phase = 2;
     std::vector<cplx> tmp(bsz_);
     t.on_block = [this, &tmp](std::size_t src, cplx* block, std::size_t len) {
       const cplx scale =
@@ -199,7 +188,9 @@ class RankRun {
       aopts.eta_override = opts_.eta_override;
       aopts.max_retries = opts_.max_retries;
       aopts.injector = &ctx_.injector();
-      abft::inplace_online_transform(local_.data(), n_loc_, aopts, stats_);
+      aopts.fused_checksums = opts_.fused_checksums;
+      abft::inplace_online_transform(local_.data(), *plan_.fft2_plan(), aopts,
+                                     stats_);
     } else {
       fft::Fft engine(n_loc_);
       engine.execute_inplace(local_.data());
@@ -214,6 +205,7 @@ class RankRun {
     t.overlap = opts_.overlap;
     t.eta = block_eta();
     t.max_retries = opts_.max_retries;
+    t.phase = 3;
     block_transpose(ctx_, local_.data(), bsz_, t, comm_, kTagT3);
   }
 
@@ -269,17 +261,19 @@ class RankRun {
     if (opts_.eta_override > 0.0) return opts_.eta_override;
     const double sigma =
         sigma_of(checksum::robust_energy(local_.data(), n_loc_), n_loc_);
-    return roundoff::practical_eta_memory(bsz_ == 0 ? 1 : bsz_, sigma);
+    // Plan-cached coefficient; identical to practical_eta_memory(bsz, sigma)
+    // for protected runs (unprotected runs never read the threshold).
+    return roundoff::eta_from_coeff(plan_.eta_block_coeff(), sigma);
   }
 
   RankCtx& ctx_;
   const std::vector<cplx>& input_;
   std::vector<cplx>& out_;
   const ParallelOptions& opts_;
+  const ParallelPlan& plan_;
   std::size_t p_, r_, n_, n_loc_, bsz_;
 
   std::vector<cplx> local_;
-  std::vector<cplx> cp_;          // p-point input checksum vector
   std::vector<cplx> s1_, s2_;     // per-column CMCG slots
   std::vector<double> e_col_;     // per-column energy
   abft::Stats stats_;
@@ -300,6 +294,11 @@ std::vector<cplx> parallel_fft(
   detail::require(n % (p * p) == 0,
                   "parallel_fft: N must be divisible by p^2");
 
+  // One cached plan per call, shared read-only by every rank thread — the
+  // rA vector, FFT2 protection state and sub-FFT plan trees stop being
+  // rebuilt per rank per call.
+  const auto plan = ParallelPlan::get(p, n, opts.protect);
+
   SimComm comm(p, opts.net, opts.seed);
   if (arm) {
     for (std::size_t r = 0; r < p; ++r) arm(r, comm.injector(r));
@@ -309,7 +308,7 @@ std::vector<cplx> parallel_fft(
   std::mutex agg_mu;
   ParallelReport agg;
   comm.run([&](RankCtx& ctx) {
-    RankRun run(ctx, input, out, opts);
+    RankRun run(ctx, input, out, opts, *plan);
     const RankOutcome outcome = run.run();
     std::scoped_lock lock(agg_mu);
     agg.stats.comp_errors_detected += outcome.stats.comp_errors_detected;

@@ -1,0 +1,130 @@
+// ParallelPlan: the immutable shared state of one (p, N) six-step
+// distributed transform, resolved once and cached process-wide.
+//
+// Before this existed every simulated rank rebuilt the setup on every call:
+// the p-point FFT1 input-checksum vector (rA) ran its DMR generation p
+// times per transform, the FFT2 k*r*k protection state was re-derived per
+// rank, and the mixed-radix sub-plans were resolved through the caches p
+// times from p concurrent threads. A ParallelPlan hoists all of it: the
+// checksum vector and the FFT2 ProtectionPlan are shared cache references,
+// the sub-FFT plan trees (p, k, r / n_loc) are pre-touched at build, and
+// the sigma-independent threshold coefficients are precomputed so the hot
+// path only pays roundoff::eta_from_coeff. Both parallel executors — the
+// thread-per-rank reference path (parallel_fft) and the engine-sharded path
+// (submit_parallel) — resolve the same plan, once per call / submission.
+//
+// Plans live behind the shared LRU-bounded PlanRegistry and show up in
+// ftfft::plan_cache_stats() as "parallel-plan".
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "abft/protection_plan.hpp"
+#include "common/complex.hpp"
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace ftfft::parallel {
+
+class ParallelPlan {
+ public:
+  /// Direct (uncached) build; throws std::invalid_argument for bad geometry
+  /// (p < 2, 3 | p, p^2 does not divide n) and propagates
+  /// abft::inplace_shape's rejection of unsupported n_loc when protected.
+  /// Prefer get().
+  ParallelPlan(std::size_t p, std::size_t n, bool protect);
+
+  /// Cached resolution keyed on (p, n, protect). Thread-safe.
+  static std::shared_ptr<const ParallelPlan> get(std::size_t p, std::size_t n,
+                                                 bool protect);
+
+  [[nodiscard]] std::size_t p() const noexcept { return p_; }
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t n_loc() const noexcept { return n_loc_; }
+  [[nodiscard]] std::size_t bsz() const noexcept { return bsz_; }
+  [[nodiscard]] bool protect() const noexcept { return protect_; }
+
+  /// p-point FFT1 input checksum vector (rA, DMR-generated, shared with the
+  /// "checksum-weights" cache). nullptr when unprotected.
+  [[nodiscard]] const cplx* cp() const noexcept {
+    return cp_ ? cp_->data() : nullptr;
+  }
+
+  /// Cached k*r*k ProtectionPlan for the n_loc-point FFT2 — the same cache
+  /// entry abft::inplace_online_transform would resolve, handed to its
+  /// plan-based overload so FFT2 is rA-generation-free per call. nullptr
+  /// when unprotected.
+  [[nodiscard]] const abft::ProtectionPlan* fft2_plan() const noexcept {
+    return fft2_.get();
+  }
+
+  /// Sigma-independent threshold coefficients (see roundoff::eta_from_coeff):
+  /// FFT1 per-column computational threshold over p points, and the
+  /// memory-checksum threshold for one bsz-element transposed block.
+  [[nodiscard]] double eta_fft1_coeff() const noexcept {
+    return eta_fft1_coeff_;
+  }
+  [[nodiscard]] double eta_block_coeff() const noexcept {
+    return eta_block_coeff_;
+  }
+
+  // ---- cache introspection (tests, benches, monitoring) ----
+
+  /// Plans constructed process-wide (cache misses + direct builds).
+  [[nodiscard]] static std::uint64_t build_count() noexcept;
+  [[nodiscard]] static std::size_t cache_size();
+  static void drop_cache();
+
+ private:
+  std::size_t p_, n_, n_loc_, bsz_;
+  bool protect_;
+  std::shared_ptr<const std::vector<cplx>> cp_;
+  std::shared_ptr<const abft::ProtectionPlan> fft2_;
+  double eta_fft1_coeff_ = 0.0;
+  double eta_block_coeff_ = 0.0;
+};
+
+/// Pre-resolves everything a (p, n) distributed transform of the given
+/// protection level touches — the ParallelPlan itself, the rA vector, the
+/// FFT2 ProtectionPlan and the p / k / r / n_loc sub-FFT plan trees — so
+/// the first submit_parallel / parallel_fft call afterwards performs zero
+/// rA generations and no plan builds. Returns the plan handle (keeping it
+/// alive pins the entry against LRU eviction).
+std::shared_ptr<const ParallelPlan> warm_plans(std::size_t p, std::size_t n,
+                                               bool protect = true);
+
+namespace detail {
+
+using ftfft::detail::require;
+
+// The shared six-step arithmetic helpers. Exactly one definition serves the
+// thread-per-rank reference path and the engine-sharded path, so the two
+// stay bit-identical by construction, not by parallel maintenance.
+
+/// Unprotected twiddle: block[u] *= scale * omega_n^(u*step), recurrence
+/// with periodic resync (single pass, no redundancy).
+inline void plain_twiddle(cplx* block, std::size_t len, std::size_t n,
+                          std::size_t step, cplx scale) {
+  const cplx base = omega(n, step);
+  cplx w = scale;
+  for (std::size_t u = 0; u < len; ++u) {
+    if (u % 64 == 0) {
+      w = cmul(scale, omega(n, static_cast<std::uint64_t>(u) * step));
+    }
+    block[u] = cmul(block[u], w);
+    w = cmul(w, base);
+  }
+}
+
+/// RMS element scale from a total energy over n complex values.
+inline double sigma_of(double energy, std::size_t n) {
+  return std::sqrt(energy / (2.0 * static_cast<double>(n)) + 1e-300);
+}
+
+}  // namespace detail
+
+}  // namespace ftfft::parallel

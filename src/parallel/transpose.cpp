@@ -36,9 +36,17 @@ void block_transpose(RankCtx& ctx, cplx* local, std::size_t block_len,
                      int tag_base) {
   const std::size_t p = ctx.nranks();
   const std::size_t r = ctx.rank();
+  const NetworkModel& net = ctx.net();
   RankClock& clock = ctx.clock();
   const std::size_t payload_len = block_len + (opts.checksums ? 2 : 0);
-  const double msg_cost = ctx.net().cost(payload_len * sizeof(cplx));
+  const double msg_cost = net.cost(payload_len * sizeof(cplx));
+
+  // Modeled node loss: the configured rank dies as it enters the configured
+  // communication phase, before any peer exchange of this transpose.
+  if (r == net.fail_rank && opts.phase != 0 && opts.phase == net.fail_phase) {
+    throw RankFailedError("parallel fft: rank failed entering transpose phase " +
+                          std::to_string(opts.phase));
+  }
 
   // Resident block: no communication, but the hook still applies.
   if (opts.on_block) {
@@ -83,6 +91,8 @@ void block_transpose(RankCtx& ctx, cplx* local, std::size_t block_len,
     }
     const double t_pack = clock.end_compute();
     stats.bytes_sent += payload_len * sizeof(cplx);
+    // Straggler model: every message out of the stalled rank departs late.
+    if (r == net.stall_rank) clock.add_comm(net.stall_seconds);
     ctx.send(peer, tag_base + static_cast<int>(s), std::move(payload));
 
     // -- receive + verify + process (measured). The peer's message replaces
@@ -91,6 +101,15 @@ void block_transpose(RankCtx& ctx, cplx* local, std::size_t block_len,
     clock.begin_compute();
     cplx* dst = local + peer * block_len;
     std::memcpy(dst, msg.payload.data(), block_len * sizeof(cplx));
+    ++stats.messages_received;
+    // Modeled link corruption (NetworkModel::corrupt_every) lands here, like
+    // the injector below: after sender checksum generation, before receiver
+    // verification. Without checksums it silently poisons the output — the
+    // unprotected variants exist to demonstrate exactly that.
+    if (net.corrupt_every != 0 &&
+        stats.messages_received % net.corrupt_every == 0) {
+      corrupt_in_flight(dst);
+    }
     if (opts.checksums) {
       // In-flight corruption hits the payload between sender checksum
       // generation and receiver verification.

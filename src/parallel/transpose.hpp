@@ -28,6 +28,10 @@ struct TransposeOptions {
   bool overlap = false;   ///< Algorithm 3 pipelined timing
   double eta = 1e-9;      ///< verification threshold for one block
   int max_retries = 4;
+  /// Six-step phase index (1..3 for the three transposes); the modeled
+  /// fault knobs (NetworkModel::fail_rank/fail_phase) key off it. 0 = not
+  /// part of a phased run, rank-failure knob never fires.
+  int phase = 0;
 
   /// Optional processing applied to every received (and the resident)
   /// block after verification: the hook the parallel FFT uses to fuse
@@ -42,11 +46,17 @@ struct TransposeStats {
   std::size_t comm_errors_detected = 0;
   std::size_t comm_errors_corrected = 0;
   std::size_t bytes_sent = 0;
+  /// Blocks received over the (simulated) link, resident block excluded.
+  /// Also the counter the NetworkModel::corrupt_every campaign knob ticks
+  /// against, so a rank's corruption pattern is a pure function of its
+  /// message count — deterministic across host thread schedules.
+  std::size_t messages_received = 0;
 
   TransposeStats& operator+=(const TransposeStats& o) {
     comm_errors_detected += o.comm_errors_detected;
     comm_errors_corrected += o.comm_errors_corrected;
     bytes_sent += o.bytes_sent;
+    messages_received += o.messages_received;
     return *this;
   }
 };

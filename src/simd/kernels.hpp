@@ -36,6 +36,15 @@ struct ChecksumKernels {
                                                       const cplx* x,
                                                       std::size_t n);
   cplx (*omega3_weighted_sum)(const cplx* x, std::size_t n);
+  /// dst = src copied in one pass, fused with the all-ones dual checksum of
+  /// the stream. Keeps the exact accumulator structure of
+  /// dual_weighted_sum(nullptr, ...), so the sums are bit-identical to the
+  /// separate sweep on the same backend — the parallel six-step path uses
+  /// this so the transpose message checksum rides the pack/unpack copy
+  /// instead of re-reading the block (PR 6's staging-copy trick applied to
+  /// communication).
+  checksum::DualSum (*copy_dual_sum)(cplx* dst, const cplx* src,
+                                     std::size_t n);
 };
 
 /// FFT butterfly/combine kernels.

@@ -97,6 +97,51 @@ checksum::DualSum k_dual_weighted_sum(const cplx* w, const cplx* x,
   return out;
 }
 
+/// dst = src with the all-ones dual checksum accumulated on the same pass.
+/// Mirrors k_dual_weighted_sum's w == nullptr branch exactly (same
+/// accumulator registers, same lane order), with a store added per load, so
+/// the returned sums are bit-identical to dual_weighted_sum(nullptr, src, n)
+/// on the same backend. dst and src must not overlap.
+template <class V>
+checksum::DualSum k_copy_dual_sum(cplx* dst, const cplx* src, std::size_t n) {
+  constexpr std::size_t W = V::width;
+  V p0 = V::zero(), p1 = V::zero();
+  V i0 = V::zero(), i1 = V::zero();
+  V j0 = V::first_index();
+  V j1 = j0 + V::index_step();
+  const V step2 = V::index_step() + V::index_step();
+  std::size_t j = 0;
+  for (; j + 2 * W <= n; j += 2 * W) {
+    const V v0 = V::load(src + j);
+    const V v1 = V::load(src + j + W);
+    v0.store(dst + j);
+    v1.store(dst + j + W);
+    p0 = p0 + v0;
+    p1 = p1 + v1;
+    i0 = v0.fmadd_elem(j0, i0);
+    i1 = v1.fmadd_elem(j1, i1);
+    j0 = j0 + step2;
+    j1 = j1 + step2;
+  }
+  for (; j + W <= n; j += W) {
+    const V v0 = V::load(src + j);
+    v0.store(dst + j);
+    p0 = p0 + v0;
+    i0 = v0.fmadd_elem(j0, i0);
+    j0 = j0 + V::index_step();
+  }
+  checksum::DualSum out;
+  out.plain = (p0 + p1).hsum();
+  out.indexed = (i0 + i1).hsum();
+  for (; j < n; ++j) {
+    const cplx v = src[j];
+    dst[j] = v;
+    out.plain += v;
+    out.indexed += static_cast<double>(j) * v;
+  }
+  return out;
+}
+
 template <class V>
 double k_energy(const cplx* x, std::size_t n) {
   constexpr std::size_t W = V::width;

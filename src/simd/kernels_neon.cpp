@@ -60,6 +60,7 @@ constexpr ChecksumKernels kNeonChecksum = {
     impl::k_weighted_sum_energy<V>,
     impl::k_dual_weighted_sum_energy<V>,
     impl::k_omega3_weighted_sum<V>,
+    impl::k_copy_dual_sum<V>,
 };
 
 }  // namespace

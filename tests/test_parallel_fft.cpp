@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "dft/reference_dft.hpp"
+#include "engine/batch_engine.hpp"
 #include "fft/fft.hpp"
 
 namespace ftfft {
@@ -52,6 +55,27 @@ TEST_P(ParallelVariant, MatchesSequentialAcrossShapes) {
     EXPECT_EQ(report.stats.comp_errors_detected, 0u);
     EXPECT_EQ(report.stats.mem_errors_detected, 0u);
     EXPECT_EQ(report.comm_stats.comm_errors_detected, 0u);
+  }
+}
+
+TEST_P(ParallelVariant, ShardedMatchesReferenceBitExact) {
+  // The engine-sharded executor must reproduce the thread-per-rank path bit
+  // for bit (fused checksums pinned off), for every variant, independent of
+  // how many workers the engine shards across.
+  ParallelOptions opts = variant(GetParam());
+  opts.fused_checksums = false;
+  for (const auto& [p, n] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {4, 1024}, {8, 4096}}) {
+    auto x = random_vector(n, InputDistribution::kUniform, 500 + n + p);
+    const auto want = parallel::parallel_fft(p, x, opts);
+    for (std::size_t threads : {1u, 2u, 4u}) {
+      engine::BatchEngine eng(threads);
+      auto fut = parallel::submit_parallel(p, x, opts, {}, &eng);
+      const auto got = fut.get();
+      ASSERT_EQ(got.size(), want.size());
+      EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(cplx)), 0)
+          << "p=" << p << " n=" << n << " threads=" << threads;
+    }
   }
 }
 
@@ -193,6 +217,65 @@ TEST(ParallelFft, ReportsCommunicationBytes) {
   const std::size_t bsz = n / (p * p);
   EXPECT_EQ(report.bytes_per_rank,
             3 * (p - 1) * (bsz + 2) * sizeof(cplx));
+}
+
+TEST(ParallelFft, LinkCorruptionCorrectedIdenticallyOnBothPaths) {
+  // Modeled link corruption (every 5th received block per rank): each rank
+  // receives 9 blocks across the three transposes, so exactly one fires per
+  // rank on either execution substrate, and all are repaired in place.
+  const std::size_t p = 4, n = 1024;
+  auto x = random_vector(n, InputDistribution::kUniform, 49);
+  ParallelOptions opts = ParallelOptions::opt_ft_fftw();
+  opts.net.corrupt_every = 5;
+  ParallelReport ref, sh;
+  const auto want = parallel::parallel_fft(p, x, opts, &ref);
+  const auto got = parallel::parallel_fft_sharded(p, x, opts, &sh);
+  expect_matches_sequential(x, want);
+  expect_matches_sequential(x, got);
+  EXPECT_EQ(ref.comm_stats.comm_errors_detected, p);
+  EXPECT_EQ(ref.comm_stats.comm_errors_corrected, p);
+  EXPECT_EQ(sh.comm_stats.comm_errors_detected, p);
+  EXPECT_EQ(sh.comm_stats.comm_errors_corrected, p);
+}
+
+TEST(ParallelFft, LinkCorruptionSilentlyPoisonsUnprotectedVariant) {
+  // The same link fault under the unprotected variants: nothing verifies
+  // the message, so the corruption lands in the spectrum — the failure mode
+  // the paper's checksummed communication exists to close.
+  const std::size_t p = 4, n = 1024;
+  auto x = random_vector(n, InputDistribution::kUniform, 51);
+  ParallelOptions opts = ParallelOptions::opt_fftw();
+  opts.net.corrupt_every = 7;
+  const auto got = parallel::parallel_fft(p, x, opts);
+  const auto want = fft::fft(x);
+  const double tol = 1e-9 * static_cast<double>(n);
+  bool corrupted = false;
+  for (std::size_t j = 0; j < n && !corrupted; ++j) {
+    corrupted = std::abs(got[j] - want[j]) > tol;
+  }
+  EXPECT_TRUE(corrupted);
+}
+
+TEST(ParallelFft, RankFailurePropagatesOnReferencePath) {
+  const std::size_t p = 4, n = 1024;
+  auto x = random_vector(n, InputDistribution::kUniform, 53);
+  ParallelOptions opts = ParallelOptions::opt_ft_fftw();
+  opts.net.fail_rank = 2;
+  opts.net.fail_phase = 2;
+  EXPECT_THROW(parallel::parallel_fft(p, x, opts), RankFailedError);
+}
+
+TEST(ParallelFft, StragglerRankSlowsSimulatedMakespan) {
+  const std::size_t p = 4, n = 4096;
+  auto x = random_vector(n, InputDistribution::kUniform, 55);
+  ParallelReport clean, stalled;
+  parallel::parallel_fft(p, x, ParallelOptions::ft_fftw(), &clean);
+  ParallelOptions opts = ParallelOptions::ft_fftw();
+  opts.net.stall_rank = 1;
+  opts.net.stall_seconds = 1e-3;
+  const auto got = parallel::parallel_fft(p, x, opts, &stalled);
+  expect_matches_sequential(x, got);
+  EXPECT_GT(stalled.makespan, clean.makespan + 1e-3);
 }
 
 TEST(ParallelFft, RejectsBadGeometry) {
