@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Diff two consolidated bench-suite snapshots (BENCH_*.json).
+
+Matches benchmark rows by (suite, name), compares their median real time
+(the gbench "median" aggregate when repetitions were used, the plain row
+otherwise) and prints the per-benchmark delta. Exits nonzero when any
+matched benchmark regressed by more than the threshold (default 10%), so
+CI can surface a perf cliff — informationally: snapshots taken on
+different machines or with smoke-level min_time are noisy, which is why
+the threshold is a flag, not a constant.
+
+Usage: bench/compare_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_medians(path):
+    """(suite, name) -> median real_time in ns, skipping non-time rows."""
+    with open(path) as f:
+        doc = json.load(f)
+    plain = {}
+    aggregates = {}
+    for row in doc.get("benchmarks", []):
+        name = row.get("name", "")
+        run_name = row.get("run_name", name)
+        key = (row.get("suite", ""), run_name)
+        t = row.get("real_time")
+        if t is None:
+            continue
+        if row.get("run_type") == "aggregate":
+            if row.get("aggregate_name") == "median":
+                aggregates[key] = float(t)
+        else:
+            plain.setdefault(key, []).append(float(t))
+    out = dict(aggregates)
+    for key, times in plain.items():
+        if key in out:
+            continue  # a real median aggregate beats recomputing one
+        times.sort()
+        out[key] = times[len(times) // 2]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="fractional regression that fails the run "
+                         "(default 0.10 = +10%% time)")
+    args = ap.parse_args()
+
+    base = load_medians(args.baseline)
+    cand = load_medians(args.candidate)
+    common = sorted(set(base) & set(cand))
+    if not common:
+        print("compare_bench: no benchmarks in common "
+              f"({len(base)} baseline rows, {len(cand)} candidate rows)")
+        return 0
+
+    regressions = []
+    width = max(len(f"{s}:{n}") for s, n in common)
+    print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'candidate':>12}"
+          f"  {'delta':>8}")
+    for key in common:
+        b, c = base[key], cand[key]
+        delta = (c - b) / b if b > 0 else 0.0
+        label = f"{key[0]}:{key[1]}"
+        mark = ""
+        if delta > args.threshold:
+            regressions.append((label, delta))
+            mark = "  <-- regression"
+        print(f"{label.ljust(width)}  {b:>10.0f}ns  {c:>10.0f}ns"
+              f"  {delta:>+7.1%}{mark}")
+
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    if only_base:
+        print(f"\n{len(only_base)} benchmark(s) only in baseline "
+              f"(e.g. {only_base[0][0]}:{only_base[0][1]})")
+    if only_cand:
+        print(f"{len(only_cand)} benchmark(s) only in candidate "
+              f"(e.g. {only_cand[0][0]}:{only_cand[0][1]})")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for label, delta in regressions:
+            print(f"  {label}: {delta:+.1%}")
+        return 1
+    print(f"\nno regression beyond {args.threshold:.0%} across "
+          f"{len(common)} matched benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -165,6 +165,7 @@ struct Stats {
   double eta_m = 0.0;                    ///< threshold used, first layer
   double eta_k = 0.0;                    ///< threshold used, second layer
   double eta_mem = 0.0;                  ///< threshold used, memory checksums
+  double eta_real = 0.0;                 ///< threshold used, real post-pass
 
   void reset() { *this = Stats{}; }
 };

@@ -103,6 +103,63 @@ std::size_t warm_plans(std::span<const std::size_t> sizes,
   return resident;
 }
 
+std::size_t warm_real_plans(std::span<const std::size_t> sizes,
+                            const PlanConfig& config) {
+  const abft::Options opts = make_abft_options(config);
+  std::size_t resident = 0;
+  for (const std::size_t n : sizes) {
+    try {
+      if (opts.mode == abft::Mode::kNone) {
+        // Building the RealFftPlan resolves the packed n/2-point in-place
+        // plan with it; no protection state is needed.
+        (void)fft::RealFftPlan::get(n);
+        ++resident;
+        continue;
+      }
+      (void)abft::RealProtectionPlan::get(n);
+      ++resident;
+      // The packed transform's protection plan and the sub-FFT
+      // decompositions its executor touches, exactly like warm_plans.
+      const auto cplan = abft::resolve_real_packed_plan(n, opts);
+      if (cplan != nullptr) {
+        switch (cplan->scheme()) {
+          case abft::Scheme::kOffline:
+            warm_fft_plans(cplan->n());
+            break;
+          case abft::Scheme::kOnline:
+            warm_fft_plans(cplan->m());
+            warm_fft_plans(cplan->k());
+            break;
+          case abft::Scheme::kOnlineInplace:
+            warm_fft_plans(cplan->k());
+            break;
+        }
+      }
+    } catch (const std::invalid_argument&) {
+      // Not a power of two >= 2: a real submission of this size would fail
+      // per lane, so there is nothing to prepay.
+    }
+  }
+  return resident;
+}
+
+engine::BatchReport transform_real_batch(
+    std::span<const engine::RealLane> lanes, std::size_t n,
+    engine::RealDirection dir, const PlanConfig& config) {
+  engine::BatchOptions opts;
+  opts.abft = make_abft_options(config);
+  return engine::BatchEngine::shared().transform_real_batch(lanes, n, dir,
+                                                            opts);
+}
+
+engine::BatchFuture submit_real_batch(std::span<const engine::RealLane> lanes,
+                                      std::size_t n, engine::RealDirection dir,
+                                      const PlanConfig& config) {
+  engine::BatchOptions opts;
+  opts.abft = make_abft_options(config);
+  return engine::BatchEngine::shared().submit_real_batch(lanes, n, dir, opts);
+}
+
 engine::BatchFuture FtPlan::submit_batch(
     std::span<const engine::Lane> lanes) const {
   return ftfft::submit_batch(lanes, n_, config_);

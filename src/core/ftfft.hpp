@@ -21,6 +21,7 @@
 #include "abft/inplace.hpp"     // IWYU pragma: export
 #include "abft/options.hpp"     // IWYU pragma: export
 #include "abft/protected_fft.hpp"  // IWYU pragma: export
+#include "abft/real_protection.hpp"  // IWYU pragma: export
 #include "common/complex.hpp"   // IWYU pragma: export
 #include "common/error.hpp"     // IWYU pragma: export
 #include "common/plan_registry.hpp"  // IWYU pragma: export (plan_cache_stats)
@@ -28,6 +29,7 @@
 #include "engine/batch_engine.hpp"  // IWYU pragma: export
 #include "fault/injector.hpp"   // IWYU pragma: export
 #include "fft/fft.hpp"          // IWYU pragma: export
+#include "fft/real_fft.hpp"     // IWYU pragma: export
 #include "parallel/parallel_fft.hpp"  // IWYU pragma: export
 
 namespace ftfft {
@@ -89,6 +91,30 @@ engine::BatchFuture submit_batch(std::span<const engine::Lane> lanes,
 /// the requested sizes (already-cached plans count — they are resident).
 std::size_t warm_plans(std::span<const std::size_t> sizes,
                        const PlanConfig& config = {});
+
+/// Real-transform analogue of warm_plans: pre-resolves, per size, the
+/// RealFftPlan (with its packed n/2-point in-place plan), the
+/// RealProtectionPlan and the packed transform's complex ProtectionPlan
+/// with its sub-FFT decompositions — so a warmed submit_real_batch does
+/// zero plan builds and zero rA-generation passes. Sizes that are not a
+/// power of two >= 2 are skipped. Returns the number of distinct
+/// RealProtectionPlans (RealFftPlans under Protection::kNone) resident for
+/// the requested sizes.
+std::size_t warm_real_plans(std::span<const std::size_t> sizes,
+                            const PlanConfig& config = {});
+
+/// Runs the protected real n-point transform (r2c or c2r per `dir`) on
+/// every lane concurrently on the process-wide shared BatchEngine,
+/// blocking until the batch completes. See engine/batch_engine.hpp.
+engine::BatchReport transform_real_batch(
+    std::span<const engine::RealLane> lanes, std::size_t n,
+    engine::RealDirection dir, const PlanConfig& config = {});
+
+/// Queues the real batch on the process-wide shared BatchEngine and
+/// returns immediately; same buffer-lifetime contract as submit_batch.
+engine::BatchFuture submit_real_batch(std::span<const engine::RealLane> lanes,
+                                      std::size_t n, engine::RealDirection dir,
+                                      const PlanConfig& config = {});
 
 /// A reusable soft-error-protected transform of one size.
 ///

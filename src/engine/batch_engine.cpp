@@ -10,9 +10,11 @@
 
 #include "abft/protected_fft.hpp"
 #include "abft/protection_plan.hpp"
+#include "abft/real_protection.hpp"
 #include "common/aligned_buffer.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "fft/real_fft.hpp"
 
 namespace ftfft::engine {
 
@@ -51,6 +53,7 @@ void accumulate(abft::Stats& into, const abft::Stats& s) {
   into.eta_m = std::max(into.eta_m, s.eta_m);
   into.eta_k = std::max(into.eta_k, s.eta_k);
   into.eta_mem = std::max(into.eta_mem, s.eta_mem);
+  into.eta_real = std::max(into.eta_real, s.eta_real);
 }
 
 // Expands the contiguous batch layout (lane L at in + L*n / out + L*n)
@@ -251,6 +254,15 @@ struct BatchEngine::Impl {
     std::exception_ptr plan_error;
     std::exception_ptr plan_inplace_error;
     std::shared_ptr<detail::BatchShared> state;
+    // Real-lane job (submit_real_batch): when `real_lanes` is non-empty,
+    // `lanes` stays empty and the items run through run_real_lane with the
+    // plans below — same claiming, cancellation and failure isolation.
+    std::vector<RealLane> real_lanes;
+    RealDirection real_dir = RealDirection::kForward;
+    std::shared_ptr<const fft::RealFftPlan> real_fft_plan;  // Mode::kNone
+    std::shared_ptr<const abft::RealProtectionPlan> real_plan;
+    std::shared_ptr<const abft::ProtectionPlan> real_cplan;  // packed n/2
+    std::exception_ptr real_plan_error;
     // Generic task job (submit_tasks): when `task` is set, `lanes` stays
     // empty and `task_count` work items run through it instead of
     // run_lane — same cursor/chunk claiming, same cancellation, same
@@ -264,7 +276,8 @@ struct BatchEngine::Impl {
     std::shared_ptr<Job> next;  // FIFO link, guarded by mu_
 
     [[nodiscard]] std::size_t item_count() const noexcept {
-      return task ? task_count : lanes.size();
+      if (task) return task_count;
+      return real_lanes.empty() ? lanes.size() : real_lanes.size();
     }
   };
 
@@ -327,6 +340,8 @@ struct BatchEngine::Impl {
       for (std::size_t i = begin; i < end; ++i) {
         if (job.task) {
           run_task(job, i);
+        } else if (!job.real_lanes.empty()) {
+          run_real_lane(job, i);
         } else {
           run_lane(job, i, arena);
         }
@@ -411,6 +426,46 @@ struct BatchEngine::Impl {
       } else {
         abft::protected_transform(in, lane.out, n, opts, stats,
                                   job.plan.get());
+      }
+    } catch (const std::exception& e) {
+      report.errors[index] = e.what();
+      report.exceptions[index] = std::current_exception();
+    } catch (...) {
+      report.errors[index] = "unknown exception";
+      report.exceptions[index] = std::current_exception();
+    }
+  }
+
+  // One real lane: run_lane's cancellation and failure-isolation contract
+  // without staging (real lanes never modify their source buffer — the
+  // protected paths work out of internal scratch).
+  void run_real_lane(Job& job, std::size_t index) {
+    BatchReport& report = job.state->report;
+    if (job.state->cancel.load(std::memory_order_relaxed)) {
+      report.errors[index] = "lane cancelled before execution";
+      report.exceptions[index] = std::make_exception_ptr(
+          CancelledError("BatchEngine: lane cancelled before execution"));
+      job.cancelled.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    const RealLane& lane = job.real_lanes[index];
+    abft::Options opts = job.opts.abft;
+    if (lane.injector != nullptr) opts.injector = lane.injector;
+    try {
+      if (job.real_plan_error) std::rethrow_exception(job.real_plan_error);
+      abft::Stats& stats = report.per_lane[index];
+      if (opts.mode == abft::Mode::kNone) {
+        if (job.real_dir == RealDirection::kForward) {
+          job.real_fft_plan->r2c(lane.re, lane.spec);
+        } else {
+          job.real_fft_plan->c2r(lane.spec, lane.re);
+        }
+      } else if (job.real_dir == RealDirection::kForward) {
+        abft::protected_r2c(lane.re, lane.spec, job.n, opts, stats,
+                            job.real_plan.get(), job.real_cplan.get());
+      } else {
+        abft::protected_c2r(lane.spec, lane.re, job.n, opts, stats,
+                            job.real_plan.get(), job.real_cplan.get());
       }
     } catch (const std::exception& e) {
       report.errors[index] = e.what();
@@ -513,6 +568,57 @@ struct BatchEngine::Impl {
     return {std::move(job), std::move(state)};
   }
 
+  // Real-lane analogue of make_job: validation, report sizing, lane copy
+  // and one-time resolution of the three plans every lane shares. A
+  // resolution failure (n not a power of two >= 2) is parked and surfaces
+  // per lane, like complex plan failures.
+  MadeJob make_real_job(std::span<const RealLane> lanes, std::size_t n,
+                        RealDirection dir, const BatchOptions& opts) {
+    ftfft::detail::require(n >= 1, "BatchEngine: size must be >= 1");
+    for (const RealLane& lane : lanes) {
+      ftfft::detail::require(lane.re != nullptr && lane.spec != nullptr,
+                             "BatchEngine: real lane buffers must not be null");
+    }
+    ftfft::detail::require(
+        opts.abft.injector == nullptr || lanes.size() <= 1 ||
+            num_threads_ == 1,
+        "BatchEngine: a batch-wide injector is not thread-safe; "
+        "use per-lane RealLane::injector instead");
+
+    auto state = std::make_shared<detail::BatchShared>();
+    BatchReport& report = state->report;
+    report.lanes = lanes.size();
+    report.per_lane.resize(lanes.size());
+    report.errors.resize(lanes.size());
+    report.exceptions.resize(lanes.size());
+    if (lanes.empty()) {
+      state->ready = true;
+      return {nullptr, std::move(state)};
+    }
+
+    auto job = std::make_shared<Job>();
+    job->real_lanes.assign(lanes.begin(), lanes.end());
+    job->real_dir = dir;
+    job->n = n;
+    job->opts = opts;
+    job->state = state;
+    job->remaining.store(lanes.size(), std::memory_order_relaxed);
+    job->chunk = pick_chunk(lanes.size(), num_threads_, opts.chunk);
+    try {
+      if (opts.abft.mode == abft::Mode::kNone) {
+        job->real_fft_plan = fft::RealFftPlan::get(n);
+      } else {
+        job->real_plan = abft::RealProtectionPlan::get(n);
+        job->real_cplan = abft::resolve_real_packed_plan(n, opts.abft);
+      }
+    } catch (...) {
+      job->real_plan_error = std::current_exception();
+    }
+
+    inflight_jobs_.fetch_add(1, std::memory_order_relaxed);
+    return {std::move(job), std::move(state)};
+  }
+
   // Appends a made job to the FIFO and wakes workers. Wake only as many as
   // the job has chunks to claim — a stream of small jobs must not
   // thundering-herd the whole pool awake. Workers already running re-check
@@ -541,6 +647,25 @@ struct BatchEngine::Impl {
     if (made.job == nullptr) return BatchFuture(std::move(made.state));
     enqueue(std::move(made.job));
     return BatchFuture(std::move(made.state));
+  }
+
+  BatchFuture submit_real(std::span<const RealLane> lanes, std::size_t n,
+                          RealDirection dir, const BatchOptions& opts) {
+    MadeJob made = make_real_job(lanes, n, dir, opts);
+    if (made.job == nullptr) return BatchFuture(std::move(made.state));
+    enqueue(std::move(made.job));
+    return BatchFuture(std::move(made.state));
+  }
+
+  // Blocking real-batch entry point: a single lane always qualifies for
+  // the inline fast path (real lanes never stage through the arena).
+  BatchReport run_sync_real(std::span<const RealLane> lanes, std::size_t n,
+                            RealDirection dir, const BatchOptions& opts) {
+    if (lanes.size() != 1) return submit_real(lanes, n, dir, opts).get();
+    MadeJob made = make_real_job(lanes, n, dir, opts);
+    Arena scratch;  // never grows: real lanes are staging-free
+    work_on(*made.job, scratch);
+    return BatchFuture(std::move(made.state)).get();
   }
 
   BatchFuture submit_tasks(std::size_t count,
@@ -634,6 +759,44 @@ BatchFuture BatchEngine::submit_batch(cplx* in, cplx* out, std::size_t n,
                                       std::size_t count,
                                       const BatchOptions& opts) {
   return impl_->submit(pack_lanes(in, out, n, count), n, opts);
+}
+
+namespace {
+
+// Contiguous real layout: lane L at re + L*n and spec + L*(n/2 + 1).
+std::vector<RealLane> pack_real_lanes(double* re, cplx* spec, std::size_t n,
+                                      std::size_t count) {
+  ftfft::detail::require(re != nullptr && spec != nullptr,
+                         "BatchEngine: real batch buffers must not be null");
+  std::vector<RealLane> lanes(count);
+  const std::size_t spectrum = n / 2 + 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    lanes[i].re = re + i * n;
+    lanes[i].spec = spec + i * spectrum;
+  }
+  return lanes;
+}
+
+}  // namespace
+
+BatchFuture BatchEngine::submit_real_batch(std::span<const RealLane> lanes,
+                                           std::size_t n, RealDirection dir,
+                                           const BatchOptions& opts) {
+  return impl_->submit_real(lanes, n, dir, opts);
+}
+
+BatchFuture BatchEngine::submit_real_batch(double* re, cplx* spec,
+                                           std::size_t n, std::size_t count,
+                                           RealDirection dir,
+                                           const BatchOptions& opts) {
+  return impl_->submit_real(pack_real_lanes(re, spec, n, count), n, dir,
+                            opts);
+}
+
+BatchReport BatchEngine::transform_real_batch(std::span<const RealLane> lanes,
+                                              std::size_t n, RealDirection dir,
+                                              const BatchOptions& opts) {
+  return impl_->run_sync_real(lanes, n, dir, opts);
 }
 
 BatchFuture BatchEngine::submit_tasks(

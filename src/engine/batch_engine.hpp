@@ -64,6 +64,27 @@ struct Lane {
   fault::Injector* injector = nullptr;
 };
 
+/// One real-input transform in a batch (see submit_real_batch). The same
+/// descriptor serves both directions: r2c reads `re` and writes `spec`,
+/// c2r reads `spec` and writes `re`. Real lanes never modify their source
+/// buffer (the protected paths work out of scratch), so
+/// BatchOptions::preserve_inputs is trivially satisfied and no arena
+/// staging is needed.
+struct RealLane {
+  /// Time-domain signal, n doubles.
+  double* re = nullptr;
+  /// Half-spectrum, n/2 + 1 complex bins (FFTW r2c layout).
+  cplx* spec = nullptr;
+  /// Optional per-lane fault injector (overrides the batch-wide one).
+  fault::Injector* injector = nullptr;
+};
+
+/// Direction of a real-lane batch.
+enum class RealDirection {
+  kForward,  ///< r2c: re -> spec (unnormalized half-spectrum)
+  kInverse,  ///< c2r: spec -> re (1/n-normalized real inverse)
+};
+
 /// Batch-wide execution knobs beyond the per-lane ABFT options.
 struct BatchOptions {
   /// Protection configuration applied to every lane.
@@ -208,6 +229,33 @@ class BatchEngine {
   /// in + L*n and writing out + L*n (out == nullptr → in place).
   BatchFuture submit_batch(cplx* in, cplx* out, std::size_t n,
                            std::size_t count, const BatchOptions& opts = {});
+
+  /// Queues the protected real n-point transform (r2c or c2r per `dir`) of
+  /// every lane through the same worker pool, FIFO queue and completion
+  /// machinery as complex batches: the RealProtectionPlan, the underlying
+  /// RealFftPlan and the packed-transform ProtectionPlan are resolved once
+  /// at submission and shared by every lane; per-lane injectors isolate
+  /// fault campaigns lane by lane; a lane that throws (UncorrectableError)
+  /// is recorded in the report without disturbing the others. The same
+  /// misuse rules as submit_batch apply (null lane pointers throw
+  /// synchronously; a batch-wide injector is rejected for multi-lane
+  /// batches on a multi-thread engine).
+  BatchFuture submit_real_batch(std::span<const RealLane> lanes,
+                                std::size_t n, RealDirection dir,
+                                const BatchOptions& opts = {});
+
+  /// Convenience: `count` real lanes packed contiguously, lane L using
+  /// re + L*n and spec + L*(n/2 + 1).
+  BatchFuture submit_real_batch(double* re, cplx* spec, std::size_t n,
+                                std::size_t count, RealDirection dir,
+                                const BatchOptions& opts = {});
+
+  /// Blocking convenience: submit_real_batch(...).get(), with the same
+  /// single-lane inline fast path as transform_batch (real lanes never
+  /// stage, so one lane always qualifies).
+  BatchReport transform_real_batch(std::span<const RealLane> lanes,
+                                   std::size_t n, RealDirection dir,
+                                   const BatchOptions& opts = {});
 
   /// Queues `count` generic work items through the same worker pool, FIFO
   /// queue and completion machinery as transform batches: item i runs

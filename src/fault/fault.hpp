@@ -31,6 +31,9 @@ enum class Phase : std::uint8_t {
   kRankLocalInput,        ///< a rank's local data before its protected FFT
   kRankFft1Output,        ///< output of one p-point FFT in parallel FFT1
   kRankFft2Output,        ///< output inside parallel FFT2
+  kRealPostPass,          ///< packed transform entering the real-transform
+                          ///< split/unsplit post-pass (r2c finalize input /
+                          ///< c2r prepare output)
 };
 
 /// What the fault does to the victim element.

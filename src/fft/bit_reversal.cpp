@@ -117,4 +117,29 @@ void CobraBitReversal::run(cplx* data, Opener opener, bool inverse) const {
   }
 }
 
+void CobraBitReversal::run_copy(cplx* dst, const cplx* src, Opener opener,
+                                bool inverse) const {
+  assert(opener == Opener::kNone || b_ >= 2);
+  const std::size_t B = std::size_t{1} << b_;
+  const std::size_t row_stride = std::size_t{1} << (mid_ + b_);
+  const auto& kernels = simd::fft_kernels();
+  static thread_local std::vector<cplx> buffer;
+  buffer.resize(B * B);
+  cplx* buf = buffer.data();
+  const std::size_t mids = std::size_t{1} << mid_;
+  // dst tile d <- src tile rev_m(d); no pairing needed out of place. The
+  // walk is ordered by DESTINATION middle so the write-back streams through
+  // dst sequentially within each row region — the scattered side is the
+  // loads, which the explicit prefetch of the next source tile covers.
+  for (std::size_t d = 0; d < mids; ++d) {
+    if (d + 1 < mids) {
+      prefetch_tile(src, reverse_bits(d + 1, mid_), B, row_stride);
+    }
+    load_tile(src, buf, reverse_bits(d, mid_), B, row_stride,
+              rev_tile_.data());
+    store_tile(dst, buf, d, B, row_stride, rev_tile_.data(), kernels, opener,
+               inverse);
+  }
+}
+
 }  // namespace ftfft::fft

@@ -75,6 +75,15 @@ class CobraBitReversal {
   /// kRadix4First (the +/-i quarter rotation).
   void run(cplx* data, Opener opener, bool inverse) const;
 
+  /// Out-of-place variant: dst[0..2^log2n) = permuted src (disjoint
+  /// buffers), same opener fusion and bit-for-bit the same values as
+  /// copying src into dst and calling run(). Out of place the involution
+  /// constraint disappears — every tile streams src -> buffer -> dst
+  /// independently — so a caller that would otherwise copy and permute
+  /// saves one full read+write sweep of the array.
+  void run_copy(cplx* dst, const cplx* src, Opener opener,
+                bool inverse) const;
+
   [[nodiscard]] unsigned tile_bits() const noexcept { return b_; }
   [[nodiscard]] unsigned middle_bits() const noexcept { return mid_; }
   [[nodiscard]] std::size_t size() const noexcept {

@@ -1,6 +1,7 @@
 #include "fft/inplace_radix2.hpp"
 
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
@@ -293,6 +294,109 @@ void InplaceRadix2Plan::run_optimized(cplx* data, bool inverse) const {
 
 void InplaceRadix2Plan::forward(cplx* data) const {
   run_optimized(data, false);
+}
+
+void InplaceRadix2Plan::forward_copy(const cplx* src, cplx* dst) const {
+  bool opener_fused = false;
+  // The out-of-place gather only pays when src AND dst together stay
+  // cache-resident (log2n + 1 <= block_log2): there it deletes a whole
+  // read+write sweep. Once the pair spills the cache window the gather's
+  // doubled working set thrashes L2 against the in-place walk's single
+  // array, and memcpy (streaming, no reuse needed) + in-place COBRA wins —
+  // measured crossover matches the window boundary exactly.
+  if (cobra_ && log2n_ + 1 <= block_log2_) {
+    cobra_->run_copy(dst, src,
+                     (log2n_ & 1u) ? CobraBitReversal::Opener::kRadix2Pairs
+                                   : CobraBitReversal::Opener::kRadix4First,
+                     /*inverse=*/false);
+    opener_fused = true;
+  } else if (cobra_) {
+    std::memcpy(static_cast<void*>(dst), src, n_ * sizeof(cplx));
+    permute_cobra_fused_opener(dst);
+    opener_fused = true;
+  } else {
+    // Below the COBRA threshold the array is cache-resident and the
+    // vectorized pair-swap walk beats a scalar per-element gather, so the
+    // copy stays separate — it is cheap at these sizes.
+    std::memcpy(static_cast<void*>(dst), src, n_ * sizeof(cplx));
+    permute_pairswap(dst);
+  }
+  blocked_pass(dst, /*inverse=*/false, opener_fused, /*scale=*/1.0,
+               block_log2_, blocked_stage_count_);
+  tail_pass(dst, /*inverse=*/false, /*scale=*/1.0);
+}
+
+InplaceRadix2Plan::OpenLastStage InplaceRadix2Plan::open_last_stages(
+    cplx* data, bool opener_fused) const {
+  assert(n_ >= 8);
+  const auto& kernels = simd::fft_kernels();
+  const cplx* tw = stage_twiddles_.data();
+  if (tail_.empty()) {
+    // Single-window schedule: the final stage is the last blocked one
+    // (len == n, never the opener at n >= 8), so the windowed pass just
+    // stops one stage short.
+    blocked_pass(data, /*inverse=*/false, opener_fused, /*scale=*/1.0,
+                 block_log2_, blocked_stage_count_ - 1);
+    const FusedStage& st = stages_.back();
+    return OpenLastStage{4, tw + st.w1_off, tw + st.w2_off, nullptr, nullptr};
+  }
+  blocked_pass(data, /*inverse=*/false, opener_fused, /*scale=*/1.0,
+               block_log2_, blocked_stage_count_);
+  for (std::size_t i = 0; i + 1 < tail_.size(); ++i) {
+    const TailStage& st = tail_[i];
+    if (st.radix == 4) {
+      kernels.radix4_stage(data, n_, st.len, tw + st.w1a_off,
+                           tw + st.w2a_off, /*inverse=*/false, 1.0);
+    } else {
+      kernels.radix16_stage(data, n_, st.len, tw + st.w1a_off,
+                            tw + st.w2a_off, tw + st.w1b_off,
+                            tw + st.w2b_off, /*inverse=*/false, 1.0);
+    }
+  }
+  const TailStage& st = tail_.back();
+  if (st.radix == 4) {
+    return OpenLastStage{4, tw + st.w1a_off, tw + st.w2a_off, nullptr,
+                         nullptr};
+  }
+  return OpenLastStage{16, tw + st.w1a_off, tw + st.w2a_off,
+                       tw + st.w1b_off, tw + st.w2b_off};
+}
+
+InplaceRadix2Plan::OpenLastStage InplaceRadix2Plan::forward_open_last(
+    cplx* data) const {
+  bool opener_fused = false;
+  if (cobra_) {
+    cobra_->run(data,
+                (log2n_ & 1u) ? CobraBitReversal::Opener::kRadix2Pairs
+                              : CobraBitReversal::Opener::kRadix4First,
+                /*inverse=*/false);
+    opener_fused = true;
+  } else {
+    permute_pairswap(data);
+  }
+  return open_last_stages(data, opener_fused);
+}
+
+InplaceRadix2Plan::OpenLastStage InplaceRadix2Plan::forward_copy_open_last(
+    const cplx* src, cplx* dst) const {
+  bool opener_fused = false;
+  // Same permutation choice as forward_copy (and the same crossover
+  // rationale); only the stage schedule afterwards differs.
+  if (cobra_ && log2n_ + 1 <= block_log2_) {
+    cobra_->run_copy(dst, src,
+                     (log2n_ & 1u) ? CobraBitReversal::Opener::kRadix2Pairs
+                                   : CobraBitReversal::Opener::kRadix4First,
+                     /*inverse=*/false);
+    opener_fused = true;
+  } else if (cobra_) {
+    std::memcpy(static_cast<void*>(dst), src, n_ * sizeof(cplx));
+    permute_cobra_fused_opener(dst);
+    opener_fused = true;
+  } else {
+    std::memcpy(static_cast<void*>(dst), src, n_ * sizeof(cplx));
+    permute_pairswap(dst);
+  }
+  return open_last_stages(dst, opener_fused);
 }
 
 void InplaceRadix2Plan::forward_fused(const cplx* src, cplx* dst,

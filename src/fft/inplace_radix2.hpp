@@ -78,6 +78,39 @@ class InplaceRadix2Plan {
   /// Forward DFT of data[0..n) in place, unit stride, not normalized.
   void forward(cplx* data) const;
 
+  /// Out-of-place forward DFT (dst = FFT(src), src untouched, dst/src
+  /// disjoint), bit-identical to copying src into dst and calling
+  /// forward(). Above the COBRA threshold the bit-reversal gathers straight
+  /// from src (CobraBitReversal::run_copy), so against copy+forward this
+  /// saves one full read+write sweep of the array — the reason the real
+  /// r2c packing uses it instead of its original memcpy.
+  void forward_copy(const cplx* src, cplx* dst) const;
+
+  /// Descriptor of the final whole-array butterfly pass withheld by
+  /// forward_open_last() / forward_copy_open_last(): one radix-4 pass
+  /// (radix == 4; twiddle packs w1a/w2a, n/4 entries) or one fused
+  /// radix-16 pass (radix == 16; inner packs w1a/w2a, outer w1b/w2b) of
+  /// block length n. Applying it through the matching kernel completes the
+  /// forward transform exactly as forward() would have.
+  struct OpenLastStage {
+    int radix;        ///< 4 or 16
+    const cplx* w1a;
+    const cplx* w2a;
+    const cplx* w1b;  ///< radix-16 only, else nullptr
+    const cplx* w2b;  ///< radix-16 only, else nullptr
+  };
+
+  /// forward() minus the final whole-array butterfly pass, in place;
+  /// returns that pass's descriptor. The real r2c path completes the
+  /// transform through the fused last-stage + Hermitian-unpack kernels
+  /// (simd r2c_last_stage4/16), which deletes the separate unpack sweep —
+  /// the reason the stage is handed back instead of executed. Requires
+  /// n >= 8 (smaller schedules end in an opener that cannot be split off).
+  OpenLastStage forward_open_last(cplx* data) const;
+
+  /// forward_copy() minus the final pass; see forward_open_last().
+  OpenLastStage forward_copy_open_last(const cplx* src, cplx* dst) const;
+
   /// Checksum dots accumulated by forward_fused().
   struct FusedDots {
     cplx in_sum{0.0, 0.0};    ///< sum_j w_in[j] * src[j] (w_in != nullptr)
@@ -167,6 +200,7 @@ class InplaceRadix2Plan {
   void run_radix2(cplx* data, bool inverse) const;
   void run_radix4_reference(cplx* data, bool inverse) const;
   void run_optimized(cplx* data, bool inverse) const;
+  OpenLastStage open_last_stages(cplx* data, bool opener_fused) const;
   void blocked_pass(cplx* data, bool inverse, bool skip_opener, double scale,
                     unsigned block_log2, std::size_t stage_count) const;
   void tail_pass(cplx* data, bool inverse, double scale) const;

@@ -72,6 +72,17 @@ double practical_eta_memory_coeff(std::size_t n) noexcept {
   return kSafety * eps * nd * std::sqrt(nd);
 }
 
+double practical_eta_real_coeff(std::size_t nc) noexcept {
+  // Unit-modulus weights on both sides of the post-pass comparison: the
+  // residual is plain-summation noise over ~nc terms whose magnitudes the
+  // split/unsplit map at most doubles (|X_k| <= |A| + |T| <= 2 |Z|), plus
+  // the per-element finalize rounding — all linear in nc * sigma with an
+  // extra sqrt(nc) for the partial-sum growth, like the memory checksums.
+  const double nd = static_cast<double>(nc);
+  const double eps = 0x1.0p-52;
+  return 2.0 * kSafety * eps * nd * std::sqrt(nd);
+}
+
 double eta_from_coeff(double coeff, double sigma0) noexcept {
   return std::max(kEtaFloor, coeff * sigma0);
 }
@@ -82,6 +93,10 @@ double practical_eta(std::size_t n, double sigma0) noexcept {
 
 double practical_eta_memory(std::size_t n, double sigma0) noexcept {
   return eta_from_coeff(practical_eta_memory_coeff(n), sigma0);
+}
+
+double practical_eta_real(std::size_t nc, double sigma0) noexcept {
+  return eta_from_coeff(practical_eta_real_coeff(nc), sigma0);
 }
 
 OnlineEtas online_etas(std::size_t m, std::size_t k, double sigma0) noexcept {

@@ -56,6 +56,17 @@ namespace ftfft::roundoff {
 [[nodiscard]] double practical_eta_memory(std::size_t n,
                                           double sigma0) noexcept;
 
+/// Practical threshold for the real-transform post-pass verification over an
+/// nc-point packed transform of component sigma sigma0: both sides of the
+/// comparison are dots with unit-modulus weights (omega3 over the
+/// half-spectrum vs the conjugate-symmetry pullback over the packed
+/// transform — see abft/real_protection.hpp), so the residual has the
+/// plain-summation shape of the memory checksums, not the O(n)-weight rA
+/// shape. Re-derived for the packed representation per Elliott et al.'s
+/// observation that thresholds must follow the data representation.
+[[nodiscard]] double practical_eta_real(std::size_t nc,
+                                        double sigma0) noexcept;
+
 // The practical thresholds factor as max(floor, coeff(n) * sigma0); the
 // sigma-independent coefficient is what an abft::ProtectionPlan precomputes
 // per layer so the per-sub-FFT threshold derivation in the hot path is one
@@ -67,6 +78,11 @@ namespace ftfft::roundoff {
 
 /// Coefficient of practical_eta_memory: kSafety * eps * n * sqrt(n).
 [[nodiscard]] double practical_eta_memory_coeff(std::size_t n) noexcept;
+
+/// Coefficient of practical_eta_real: kSafety * eps * nc * sqrt(nc), with a
+/// factor 2 for the half-spectrum's nc+1 bins riding on top of the nc-point
+/// pullback (the post-pass doubles element magnitudes at most).
+[[nodiscard]] double practical_eta_real_coeff(std::size_t nc) noexcept;
 
 /// Applies a precomputed threshold coefficient: max(floor, coeff * sigma0).
 [[nodiscard]] double eta_from_coeff(double coeff, double sigma0) noexcept;

@@ -122,6 +122,56 @@ struct FftKernels {
   /// every cache-resident size.)
   void (*copy_weighted_sum_energy)(cplx* dst, const cplx* src, const cplx* w,
                                    std::size_t n, cplx* sum, double* energy);
+  // ---- Real-transform post-pass (PR 8). One streaming Hermitian sweep
+  // converts between the nc-point complex transform of the packed real
+  // signal and the nc+1 half-spectrum (see fft/real_fft.hpp for the
+  // layout). All arithmetic is elementwise add/sub/conj/±i-rotation plus
+  // cmul_nofma, so dst is bitwise identical across every backend — the
+  // scalar TU (contraction pinned off) is the reference the others equal,
+  // not just approximate.
+  /// Unpack: dst[0..nc] = half-spectrum of the length-2*nc real signal
+  /// whose packed nc-point transform is src[0..nc). wq holds omega(2*nc, k)
+  /// for k = 0..nc/2. dst may alias src (dst must have nc+1 slots).
+  void (*r2c_finalize)(cplx* dst, const cplx* src, std::size_t nc,
+                       const cplx* wq);
+  /// r2c_finalize that also returns sum_k cw[k] * dst[k] over the nc+1
+  /// outputs, accumulated while they are still in registers (the PR 6
+  /// fused-output-dot trick applied to the post-pass). cw: nc+1 entries.
+  cplx (*r2c_finalize_cs)(cplx* dst, const cplx* src, std::size_t nc,
+                          const cplx* wq, const cplx* cw);
+  /// Pack: dst[0..nc) = nc-point spectrum whose inverse transform
+  /// interleaves to the real signal with half-spectrum src[0..nc]
+  /// (the exact inverse of r2c_finalize). `conjugate` writes conj(dst)
+  /// instead — the protected path rides the conjugate-forward-conjugate
+  /// inverse. dst/src must not overlap.
+  void (*c2r_prepare)(cplx* dst, const cplx* src, std::size_t nc,
+                      const cplx* wq, bool conjugate);
+  /// c2r_prepare that also returns sum_k cw[k] * src[k] over the nc+1
+  /// inputs, fused into the same sweep. cw: nc+1 entries.
+  cplx (*c2r_prepare_cs)(cplx* dst, const cplx* src, std::size_t nc,
+                         const cplx* wq, bool conjugate, const cplx* cw);
+  /// Final radix-4 butterfly stage of the packed forward (block length ==
+  /// nc, i.e. the whole array is one block) fused with the r2c Hermitian
+  /// unpack: dst[0..nc) holds the pre-stage data on entry and the nc+1
+  /// half-spectrum on exit (slot nc is written; dst needs nc+1 slots).
+  /// Butterfly j and its mirror nc/4 - j emit the eight spectrum entries of
+  /// four complete Hermitian pairs, so the unpack consumes the butterfly
+  /// outputs while they are still in registers and the separate
+  /// r2c_finalize sweep — a whole read+write pass over the array —
+  /// disappears. w1/w2 are the stage's packed twiddles (nc/4 entries each,
+  /// exactly what radix4_stage would load), wq as in r2c_finalize. nc >= 8.
+  /// Butterfly op order matches radix4_stage, unpack op order matches
+  /// r2c_finalize; only the pairing of loop iterations differs, so accuracy
+  /// is that of the unfused pair of kernels.
+  void (*r2c_last_stage4)(cplx* dst, std::size_t nc, const cplx* w1,
+                          const cplx* w2, const cplx* wq);
+  /// Same fusion for a schedule whose final pass is the fused radix-16
+  /// stage (two radix-4 stages, len == nc): group j pairs with group
+  /// nc/16 - j, covering sixteen Hermitian pairs per group pair. w1a/w2a
+  /// inner, w1b/w2b outer twiddle packs as in radix16_stage. nc >= 32.
+  void (*r2c_last_stage16)(cplx* dst, std::size_t nc, const cplx* w1a,
+                           const cplx* w2a, const cplx* w1b, const cplx* w2b,
+                           const cplx* wq);
 };
 
 /// Backend tables. A getter returns nullptr when that backend is not
@@ -160,5 +210,21 @@ void scalar_radix2_stage0_from_range(cplx* dst, const cplx* src,
 void scalar_radix4_first_stage_from_range(cplx* dst, const cplx* src,
                                           std::size_t begin, std::size_t end,
                                           bool inverse);
+
+/// Reference Hermitian pair sweep of r2c_finalize over k in [begin, end)
+/// (1 <= begin, end <= nc/2; each k also writes the mirror nc-k). Lives in
+/// the contraction-pinned scalar TU so the vector backends' remainder pairs
+/// round exactly like the reference. When cw is non-null, the fused
+/// checksum contribution of the pairs is accumulated into *cs.
+void scalar_r2c_finalize_range(cplx* dst, const cplx* src, std::size_t nc,
+                               const cplx* wq, std::size_t begin,
+                               std::size_t end, const cplx* cw, cplx* cs);
+
+/// Reference pair sweep of c2r_prepare over k in [begin, end); cw/cs as
+/// above (the prepare checksum reads src, the nc+1 half-spectrum inputs).
+void scalar_c2r_prepare_range(cplx* dst, const cplx* src, std::size_t nc,
+                              const cplx* wq, bool conjugate,
+                              std::size_t begin, std::size_t end,
+                              const cplx* cw, cplx* cs);
 
 }  // namespace ftfft::simd

@@ -208,6 +208,12 @@ constexpr FftKernels kAvx2Fft = {
     impl::k_radix4_stage_cs<V>,
     impl::k_radix16_stage_cs<V>,
     impl::k_copy_weighted_sum_energy<V>,
+    impl::k_r2c_finalize<V>,
+    impl::k_r2c_finalize_cs<V>,
+    impl::k_c2r_prepare<V>,
+    impl::k_c2r_prepare_cs<V>,
+    impl::k_r2c_last_stage4<V>,
+    impl::k_r2c_last_stage16<V>,
 };
 
 constexpr ChecksumKernels kAvx2Checksum = {

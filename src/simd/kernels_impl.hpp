@@ -720,6 +720,355 @@ void k_copy_weighted_sum_energy(cplx* dst, const cplx* src, const cplx* w,
   *energy = eacc;
 }
 
+// ================================= real-transform post-pass (see kernels.hpp)
+//
+// Conjugate-symmetry unpack/pack between the nc-point complex transform Z
+// of a packed length-2*nc real signal and its nc+1 half-spectrum X. For
+// k = 1..nc/2-1 with mirror j = nc-k and W = omega(2*nc, .):
+//   A = (Z_k + conj(Z_j)) / 2        B = (Z_k - conj(Z_j)) / 2
+//   X_k = A + (-i*B)*W^k             X_j = conj(A - (-i*B)*W^k)
+// plus the exact edges X_0 = Re Z_0 + Im Z_0, X_nc = Re Z_0 - Im Z_0 and
+// the self-pair X_{nc/2} = conj(Z_{nc/2}); c2r_prepare applies the inverse
+// map (same A/B shape on X with U = i*(B*conj(W^k)), derived from
+// W^{nc-k} = -conj(W^k)). The sweep walks k forward and j backward in the
+// same iteration (reversed() mirror loads/stores), touching every cache
+// line of both halves once. Every per-element operation is elementwise
+// add/sub/conj/±i-rotation, an exact scale by 0.5, or cmul_nofma — no FMA
+// anywhere — so dst is bitwise identical across all backends; remainder
+// pairs run through the contraction-pinned scalar range helpers. Only the
+// optional fused checksum reduction re-associates across lanes, which the
+// detection thresholds absorb like every other cross-backend dot variance.
+
+template <class V, bool Cs>
+cplx k_r2c_finalize_t(cplx* dst, const cplx* src, std::size_t nc,
+                      const cplx* wq, const cplx* cw) {
+  constexpr std::size_t W = V::width;
+  const std::size_t half = nc / 2;
+  const cplx z0 = src[0];  // read before the aliased dst[0] store
+  dst[0] = cplx{z0.real() + z0.imag(), 0.0};
+  dst[nc] = cplx{z0.real() - z0.imag(), 0.0};
+  cplx cs{0.0, 0.0};
+  if constexpr (Cs) cs = cmul(cw[0], dst[0]) + cmul(cw[nc], dst[nc]);
+  V a0 = V::zero(), a1 = V::zero();
+  std::size_t k = 1;
+  for (; k + W <= half; k += W) {
+    const std::size_t jr = nc - k - (W - 1);  // mirror run, ascending base
+    const V zk = V::load(src + k);
+    const V zjc = V::load(src + jr).reversed().conj_();
+    const V a = (zk + zjc).scale(0.5);
+    const V b = (zk - zjc).scale(0.5);
+    const V t = b.mul_neg_i().cmul_nofma(V::load(wq + k));
+    const V xk = a + t;
+    const V xjr = (a - t).conj_().reversed();
+    xk.store(dst + k);
+    xjr.store(dst + jr);
+    if constexpr (Cs) {
+      a0 = a0 + V::load(cw + k).cmul(xk);
+      a1 = a1 + V::load(cw + jr).cmul(xjr);
+    }
+  }
+  if constexpr (Cs) cs += (a0 + a1).hsum();
+  if (k < half) {
+    scalar_r2c_finalize_range(dst, src, nc, wq, k, half, Cs ? cw : nullptr,
+                              Cs ? &cs : nullptr);
+  }
+  if (half != 0) {
+    dst[half] = std::conj(src[half]);
+    if constexpr (Cs) cs += cmul(cw[half], dst[half]);
+  }
+  return cs;
+}
+
+template <class V>
+void k_r2c_finalize(cplx* dst, const cplx* src, std::size_t nc,
+                    const cplx* wq) {
+  k_r2c_finalize_t<V, false>(dst, src, nc, wq, nullptr);
+}
+
+template <class V>
+cplx k_r2c_finalize_cs(cplx* dst, const cplx* src, std::size_t nc,
+                       const cplx* wq, const cplx* cw) {
+  return k_r2c_finalize_t<V, true>(dst, src, nc, wq, cw);
+}
+
+// ------------------------- fused last-stage + Hermitian unpack (see
+// kernels.hpp). The final butterfly stage of the packed forward spans the
+// whole array as one block, so its butterfly (or radix-16 group) at offset
+// j and the one at mirror offset stride - j together emit exactly the
+// spectrum entries of complete Hermitian pairs: running the two in lockstep
+// lets the unpack consume the butterfly outputs in registers, deleting the
+// separate finalize read+write sweep. Butterfly ops are radix4_butterfly /
+// the scalar shape below (contraction per the enclosing TU, like every
+// butterfly kernel); unpack ops follow k_r2c_finalize_t / the scalar range
+// helper. Unlike the post-pass kernels above, no cross-backend bitwise
+// claim is made — the butterflies already round per-backend — but for a
+// fixed backend the result is deterministic, and the strided gather path
+// runs the same kernel so compacted and strided r2c still agree bitwise.
+
+/// Scalar radix-4 butterfly, the width-1 shape of radix4_butterfly
+/// (forward): same cmul orientations, same structural -i rotation.
+inline void radix4_butterfly_s(cplx& a, cplx& b, cplx& c, cplx& d, cplx w1,
+                               cplx w2) {
+  const cplx t0 = cmul(b, w1);
+  const cplx a1 = a + t0;
+  const cplx b1 = a - t0;
+  const cplx t1 = cmul(d, w1);
+  const cplx c1 = c + t1;
+  const cplx d1 = c - t1;
+  const cplx t2 = cmul(c1, w2);
+  const cplx t3 = mul_neg_i(cmul(d1, w2));
+  a = a1 + t2;
+  b = b1 + t3;
+  c = a1 - t2;
+  d = b1 - t3;
+}
+
+/// Scalar Hermitian unpack of one pair: zk = Z_k, zj = Z_{nc-k}; writes
+/// X_k and X_{nc-k}. Op sequence of scalar_r2c_finalize_range.
+inline void r2c_unpack_pair_s(cplx* dst, std::size_t nc, const cplx* wq,
+                              std::size_t k, cplx zk, cplx zj) {
+  const cplx zjc = std::conj(zj);
+  const cplx a{(zk.real() + zjc.real()) * 0.5,
+               (zk.imag() + zjc.imag()) * 0.5};
+  const cplx b{(zk.real() - zjc.real()) * 0.5,
+               (zk.imag() - zjc.imag()) * 0.5};
+  const cplx t = cmul(mul_neg_i(b), wq[k]);
+  dst[k] = a + t;
+  dst[nc - k] = std::conj(a - t);
+}
+
+/// Vector Hermitian unpack of W pairs: zk holds Z at k..k+W-1 (natural
+/// order), zj_rev holds the mirrors Z_{nc-k-w} in lane w (i.e. a reversed
+/// load of the mirror run). Writes X at k.. and, reversed, at the mirror
+/// run nc-k-W+1... Op sequence of k_r2c_finalize_t's main loop.
+template <class V>
+inline void r2c_unpack_pair_v(cplx* dst, std::size_t nc, const cplx* wq,
+                              std::size_t k, V zk, V zj_rev) {
+  const V zjc = zj_rev.conj_();
+  const V a = (zk + zjc).scale(0.5);
+  const V b = (zk - zjc).scale(0.5);
+  const V t = b.mul_neg_i().cmul_nofma(V::load(wq + k));
+  (a + t).store(dst + k);
+  (a - t).conj_().reversed().store(dst + nc - k - (V::width - 1));
+}
+
+template <class V>
+void k_r2c_last_stage4(cplx* dst, std::size_t nc, const cplx* w1,
+                       const cplx* w2, const cplx* wq) {
+  constexpr std::size_t W = V::width;
+  const std::size_t q = nc >> 2;  // butterfly count == quarter block
+  // Butterfly 0 ({0, q, 2q, 3q}) is self-mirrored: it yields the exact
+  // edges X_0/X_nc, the self-pair X_{nc/2} = conj(Z_{nc/2}), and the
+  // Hermitian pair (q, 3q).
+  {
+    cplx z0 = dst[0], z1 = dst[q], z2 = dst[2 * q], z3 = dst[3 * q];
+    radix4_butterfly_s(z0, z1, z2, z3, w1[0], w2[0]);
+    dst[0] = cplx{z0.real() + z0.imag(), 0.0};
+    dst[nc] = cplx{z0.real() - z0.imag(), 0.0};
+    dst[2 * q] = std::conj(z2);
+    r2c_unpack_pair_s(dst, nc, wq, q, z1, z3);
+  }
+  // Main sweep: ascending butterflies j..j+W-1 in lockstep with their
+  // mirrors q-j-W+1..q-j. The eight outputs pair as (j, nc-j),
+  // (q-j, 3q+j), (q+j, 3q-j), (2q-j, 2q+j) — lanes line up after one
+  // reversal on the zj side, exactly the finalize sweep's mirror-run trick.
+  std::size_t j = 1;
+  for (; j + W <= q - j - W + 1; j += W) {
+    const std::size_t jr = q - j - (W - 1);
+    V a = V::load(dst + j), b = V::load(dst + j + q),
+      c = V::load(dst + j + 2 * q), d = V::load(dst + j + 3 * q);
+    radix4_butterfly<V, false>(a, b, c, d, V::load(w1 + j), V::load(w2 + j));
+    V am = V::load(dst + jr), bm = V::load(dst + jr + q),
+      cm = V::load(dst + jr + 2 * q), dm = V::load(dst + jr + 3 * q);
+    radix4_butterfly<V, false>(am, bm, cm, dm, V::load(w1 + jr),
+                               V::load(w2 + jr));
+    r2c_unpack_pair_v<V>(dst, nc, wq, j, a, dm.reversed());
+    r2c_unpack_pair_v<V>(dst, nc, wq, jr, am, d.reversed());
+    r2c_unpack_pair_v<V>(dst, nc, wq, q + j, b, cm.reversed());
+    r2c_unpack_pair_v<V>(dst, nc, wq, q + jr, bm, c.reversed());
+  }
+  // Scalar middle pairs left over once the runs would collide.
+  for (; 2 * j < q; ++j) {
+    const std::size_t jr = q - j;
+    cplx a = dst[j], b = dst[j + q], c = dst[j + 2 * q],
+         d = dst[j + 3 * q];
+    radix4_butterfly_s(a, b, c, d, w1[j], w2[j]);
+    cplx am = dst[jr], bm = dst[jr + q], cm = dst[jr + 2 * q],
+         dm = dst[jr + 3 * q];
+    radix4_butterfly_s(am, bm, cm, dm, w1[jr], w2[jr]);
+    r2c_unpack_pair_s(dst, nc, wq, j, a, dm);
+    r2c_unpack_pair_s(dst, nc, wq, jr, am, d);
+    r2c_unpack_pair_s(dst, nc, wq, q + j, b, cm);
+    r2c_unpack_pair_s(dst, nc, wq, q + jr, bm, c);
+  }
+  if (2 * j == q) {
+    // Self-mirrored butterfly q/2: its four outputs form two pairs.
+    cplx a = dst[j], b = dst[j + q], c = dst[j + 2 * q],
+         d = dst[j + 3 * q];
+    radix4_butterfly_s(a, b, c, d, w1[j], w2[j]);
+    r2c_unpack_pair_s(dst, nc, wq, j, a, d);
+    r2c_unpack_pair_s(dst, nc, wq, q + j, b, c);
+  }
+}
+
+/// Scalar radix-16 group butterfly at offset j (element stride e): the
+/// width-1 shape of k_radix16_stage_t's in-register two-stage pass.
+inline void radix16_group_s(cplx (&x)[16], const cplx* w1a, const cplx* w2a,
+                            const cplx* w1b, const cplx* w2b, std::size_t j,
+                            std::size_t e) {
+  for (std::size_t m = 0; m < 4; ++m) {
+    radix4_butterfly_s(x[4 * m], x[4 * m + 1], x[4 * m + 2], x[4 * m + 3],
+                       w1a[j], w2a[j]);
+  }
+  for (std::size_t m = 0; m < 4; ++m) {
+    radix4_butterfly_s(x[m], x[m + 4], x[m + 8], x[m + 12], w1b[j + m * e],
+                       w2b[j + m * e]);
+  }
+}
+
+template <class V>
+void k_r2c_last_stage16(cplx* dst, std::size_t nc, const cplx* w1a,
+                        const cplx* w2a, const cplx* w1b, const cplx* w2b,
+                        const cplx* wq) {
+  constexpr std::size_t W = V::width;
+  const std::size_t e = nc >> 4;  // group count == element stride
+  // Group 0 ({k*e}) is self-mirrored: edges from Z_0, self-pair at
+  // 8e == nc/2, and the pairs (k*e, (16-k)*e) for k = 1..7.
+  {
+    cplx x[16];
+    for (std::size_t k = 0; k < 16; ++k) x[k] = dst[k * e];
+    radix16_group_s(x, w1a, w2a, w1b, w2b, 0, e);
+    dst[0] = cplx{x[0].real() + x[0].imag(), 0.0};
+    dst[nc] = cplx{x[0].real() - x[0].imag(), 0.0};
+    dst[8 * e] = std::conj(x[8]);
+    for (std::size_t k = 1; k < 8; ++k) {
+      r2c_unpack_pair_s(dst, nc, wq, k * e, x[k], x[16 - k]);
+    }
+  }
+  // Main sweep: groups j..j+W-1 in lockstep with mirrors e-j-W+1..e-j;
+  // output k of group j pairs with output 15-k of the mirror group.
+  std::size_t j = 1;
+  for (; j + W <= e - j - W + 1; j += W) {
+    const std::size_t jr = e - j - (W - 1);
+    V x[16], y[16];
+    for (std::size_t k = 0; k < 16; ++k) x[k] = V::load(dst + j + k * e);
+    {
+      const V vw1a = V::load(w1a + j);
+      const V vw2a = V::load(w2a + j);
+      for (std::size_t m = 0; m < 4; ++m) {
+        radix4_butterfly<V, false>(x[4 * m], x[4 * m + 1], x[4 * m + 2],
+                                   x[4 * m + 3], vw1a, vw2a);
+      }
+      for (std::size_t m = 0; m < 4; ++m) {
+        radix4_butterfly<V, false>(x[m], x[m + 4], x[m + 8], x[m + 12],
+                                   V::load(w1b + j + m * e),
+                                   V::load(w2b + j + m * e));
+      }
+    }
+    for (std::size_t k = 0; k < 16; ++k) y[k] = V::load(dst + jr + k * e);
+    {
+      const V vw1a = V::load(w1a + jr);
+      const V vw2a = V::load(w2a + jr);
+      for (std::size_t m = 0; m < 4; ++m) {
+        radix4_butterfly<V, false>(y[4 * m], y[4 * m + 1], y[4 * m + 2],
+                                   y[4 * m + 3], vw1a, vw2a);
+      }
+      for (std::size_t m = 0; m < 4; ++m) {
+        radix4_butterfly<V, false>(y[m], y[m + 4], y[m + 8], y[m + 12],
+                                   V::load(w1b + jr + m * e),
+                                   V::load(w2b + jr + m * e));
+      }
+    }
+    for (std::size_t k = 0; k < 8; ++k) {
+      r2c_unpack_pair_v<V>(dst, nc, wq, j + k * e, x[k], y[15 - k].reversed());
+      r2c_unpack_pair_v<V>(dst, nc, wq, jr + k * e, y[k],
+                           x[15 - k].reversed());
+    }
+  }
+  // Scalar middle group pairs.
+  for (; 2 * j < e; ++j) {
+    const std::size_t jr = e - j;
+    cplx x[16], y[16];
+    for (std::size_t k = 0; k < 16; ++k) x[k] = dst[j + k * e];
+    radix16_group_s(x, w1a, w2a, w1b, w2b, j, e);
+    for (std::size_t k = 0; k < 16; ++k) y[k] = dst[jr + k * e];
+    radix16_group_s(y, w1a, w2a, w1b, w2b, jr, e);
+    for (std::size_t k = 0; k < 8; ++k) {
+      r2c_unpack_pair_s(dst, nc, wq, j + k * e, x[k], y[15 - k]);
+      r2c_unpack_pair_s(dst, nc, wq, jr + k * e, y[k], x[15 - k]);
+    }
+  }
+  if (2 * j == e) {
+    // Self-mirrored group e/2: output k pairs with output 15-k in-group.
+    cplx x[16];
+    for (std::size_t k = 0; k < 16; ++k) x[k] = dst[j + k * e];
+    radix16_group_s(x, w1a, w2a, w1b, w2b, j, e);
+    for (std::size_t k = 0; k < 8; ++k) {
+      r2c_unpack_pair_s(dst, nc, wq, j + k * e, x[k], x[15 - k]);
+    }
+  }
+}
+
+template <class V, bool Cs>
+cplx k_c2r_prepare_t(cplx* dst, const cplx* src, std::size_t nc,
+                     const cplx* wq, bool conjugate, const cplx* cw) {
+  constexpr std::size_t W = V::width;
+  const std::size_t half = nc / 2;
+  const cplx x0 = src[0];
+  const cplx xn = src[nc];
+  const cplx z0{(x0.real() + xn.real()) * 0.5,
+                (x0.real() - xn.real()) * 0.5};
+  dst[0] = conjugate ? std::conj(z0) : z0;
+  cplx cs{0.0, 0.0};
+  if constexpr (Cs) cs = cmul(cw[0], x0) + cmul(cw[nc], xn);
+  V a0 = V::zero(), a1 = V::zero();
+  std::size_t k = 1;
+  for (; k + W <= half; k += W) {
+    const std::size_t jr = nc - k - (W - 1);
+    const V xk = V::load(src + k);
+    const V xjlin = V::load(src + jr);
+    const V xjc = xjlin.reversed().conj_();
+    const V a = (xk + xjc).scale(0.5);
+    const V b = (xk - xjc).scale(0.5);
+    const V u = b.cmul_nofma(V::load(wq + k).conj_()).mul_i();
+    V zk = a + u;
+    V zj = (a - u).conj_();
+    if (conjugate) {
+      zk = zk.conj_();
+      zj = zj.conj_();
+    }
+    zk.store(dst + k);
+    zj.reversed().store(dst + jr);
+    if constexpr (Cs) {
+      a0 = a0 + V::load(cw + k).cmul(xk);
+      a1 = a1 + V::load(cw + jr).cmul(xjlin);
+    }
+  }
+  if constexpr (Cs) cs += (a0 + a1).hsum();
+  if (k < half) {
+    scalar_c2r_prepare_range(dst, src, nc, wq, conjugate, k, half,
+                             Cs ? cw : nullptr, Cs ? &cs : nullptr);
+  }
+  if (half != 0) {
+    const cplx xh = src[half];
+    dst[half] = conjugate ? xh : std::conj(xh);
+    if constexpr (Cs) cs += cmul(cw[half], xh);
+  }
+  return cs;
+}
+
+template <class V>
+void k_c2r_prepare(cplx* dst, const cplx* src, std::size_t nc,
+                   const cplx* wq, bool conjugate) {
+  k_c2r_prepare_t<V, false>(dst, src, nc, wq, conjugate, nullptr);
+}
+
+template <class V>
+cplx k_c2r_prepare_cs(cplx* dst, const cplx* src, std::size_t nc,
+                      const cplx* wq, bool conjugate, const cplx* cw) {
+  return k_c2r_prepare_t<V, true>(dst, src, nc, wq, conjugate, cw);
+}
+
 // ============================================== vertical DFTs for combine
 
 // The codelet math from dft/codelets.cpp transliterated onto vectors: each

@@ -116,6 +116,55 @@ void scalar_radix4_first_stage_from_range(cplx* dst, const cplx* src,
   }
 }
 
+void scalar_r2c_finalize_range(cplx* dst, const cplx* src, std::size_t nc,
+                               const cplx* wq, std::size_t begin,
+                               std::size_t end, const cplx* cw, cplx* cs) {
+  // One Hermitian pair per k; the op sequence is exactly the width-1 shape
+  // of impl::k_r2c_finalize_t (add, exact *0.5, -i rotation, schoolbook
+  // cmul), and this TU pins contraction off, so vector backends calling in
+  // for their remainder pairs land on the same bits.
+  for (std::size_t k = begin; k < end; ++k) {
+    const std::size_t j = nc - k;
+    const cplx zk = src[k];
+    const cplx zjc = std::conj(src[j]);
+    const cplx a{(zk.real() + zjc.real()) * 0.5,
+                 (zk.imag() + zjc.imag()) * 0.5};
+    const cplx b{(zk.real() - zjc.real()) * 0.5,
+                 (zk.imag() - zjc.imag()) * 0.5};
+    const cplx t = cmul(mul_neg_i(b), wq[k]);
+    const cplx xk = a + t;
+    const cplx xj = std::conj(a - t);
+    dst[k] = xk;
+    dst[j] = xj;
+    if (cw != nullptr) *cs += cmul(cw[k], xk) + cmul(cw[j], xj);
+  }
+}
+
+void scalar_c2r_prepare_range(cplx* dst, const cplx* src, std::size_t nc,
+                              const cplx* wq, bool conjugate,
+                              std::size_t begin, std::size_t end,
+                              const cplx* cw, cplx* cs) {
+  for (std::size_t k = begin; k < end; ++k) {
+    const std::size_t j = nc - k;
+    const cplx xk = src[k];
+    const cplx xjc = std::conj(src[j]);
+    const cplx a{(xk.real() + xjc.real()) * 0.5,
+                 (xk.imag() + xjc.imag()) * 0.5};
+    const cplx b{(xk.real() - xjc.real()) * 0.5,
+                 (xk.imag() - xjc.imag()) * 0.5};
+    const cplx u = mul_i(cmul(b, std::conj(wq[k])));
+    cplx zk = a + u;
+    cplx zj = std::conj(a - u);
+    if (conjugate) {
+      zk = std::conj(zk);
+      zj = std::conj(zj);
+    }
+    dst[k] = zk;
+    dst[j] = zj;
+    if (cw != nullptr) *cs += cmul(cw[k], src[k]) + cmul(cw[j], src[j]);
+  }
+}
+
 namespace {
 
 using V = ScalarVec;
@@ -157,6 +206,12 @@ constexpr FftKernels kScalarFft = {
     impl::k_radix4_stage_cs<V>,
     impl::k_radix16_stage_cs<V>,
     impl::k_copy_weighted_sum_energy<V>,
+    impl::k_r2c_finalize<V>,
+    impl::k_r2c_finalize_cs<V>,
+    impl::k_c2r_prepare<V>,
+    impl::k_c2r_prepare_cs<V>,
+    impl::k_r2c_last_stage4<V>,
+    impl::k_r2c_last_stage16<V>,
 };
 
 constexpr ChecksumKernels kScalarChecksum = {

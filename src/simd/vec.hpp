@@ -59,6 +59,13 @@ struct ScalarVec {
 
   /// Complex multiply, schoolbook 4-mul/2-add (matches ftfft::cmul).
   ScalarVec cmul(ScalarVec w) const noexcept { return {ftfft::cmul(v, w.v)}; }
+  /// Complex multiply with contraction structurally ruled out: plain
+  /// mul/add even on FMA backends, so every backend produces the exact
+  /// schoolbook rounding. The real-transform post-pass uses this so its
+  /// outputs are bitwise identical across backends (unlike cmul, whose FMA
+  /// variants agree with scalar only up to round-off). Here cmul is already
+  /// the reference: this TU pins -ffp-contract=off.
+  ScalarVec cmul_nofma(ScalarVec w) const noexcept { return cmul(w); }
   ScalarVec conj_() const noexcept { return {std::conj(v)}; }
   ScalarVec mul_i() const noexcept { return {ftfft::mul_i(v)}; }
   ScalarVec mul_neg_i() const noexcept { return {ftfft::mul_neg_i(v)}; }
@@ -74,6 +81,11 @@ struct ScalarVec {
   ScalarVec scale(double s) const noexcept {
     return {cplx{v.real() * s, v.imag() * s}};
   }
+
+  /// Complex lanes in reverse order (width-1: identity). The Hermitian
+  /// pair sweep of the real-transform post-pass walks one pointer forward
+  /// and its mirror backward with this.
+  ScalarVec reversed() const noexcept { return *this; }
 
   /// Sum of the complex lanes (lane order, deterministic).
   cplx hsum() const noexcept { return v; }
@@ -142,6 +154,15 @@ struct Avx2Vec {
     // even slot: xr*wr - xi*wi, odd slot: xi*wr + xr*wi.
     return {_mm256_fmaddsub_pd(v, wr, _mm256_mul_pd(xs, wi))};
   }
+  Avx2Vec cmul_nofma(Avx2Vec w) const noexcept {
+    const __m256d wr = _mm256_movedup_pd(w.v);
+    const __m256d wi = _mm256_permute_pd(w.v, 0xF);
+    const __m256d xs = _mm256_permute_pd(v, 0x5);
+    // Same slots as cmul, but addsub of two plain products instead of
+    // fmaddsub: exactly the scalar schoolbook rounding, bit-identical to
+    // ScalarVec::cmul_nofma.
+    return {_mm256_addsub_pd(_mm256_mul_pd(v, wr), _mm256_mul_pd(xs, wi))};
+  }
   Avx2Vec conj_() const noexcept {
     return {_mm256_xor_pd(v, _mm256_setr_pd(0.0, -0.0, 0.0, -0.0))};
   }
@@ -160,6 +181,10 @@ struct Avx2Vec {
 
   Avx2Vec scale(double s) const noexcept {
     return {_mm256_mul_pd(v, _mm256_set1_pd(s))};
+  }
+
+  Avx2Vec reversed() const noexcept {
+    return {_mm256_permute2f128_pd(v, v, 1)};  // swap the two cplx lanes
   }
 
   cplx hsum() const noexcept {
@@ -230,6 +255,17 @@ struct NeonVec {
     const float64x2_t t = vmulq_f64(vmulq_f64(xs, wi), vld1q_f64(sgn_raw));
     return {vfmaq_f64(t, v, wr)};
   }
+  NeonVec cmul_nofma(NeonVec w) const noexcept {
+    const float64x2_t wr = vdupq_laneq_f64(w.v, 0);
+    const float64x2_t wi = vdupq_laneq_f64(w.v, 1);
+    const float64x2_t xs = vextq_f64(v, v, 1);
+    // Plain add instead of the fused accumulate of cmul: [-xi*wi + xr*wr,
+    // xr*wi + xi*wr], value-identical to the scalar schoolbook sequence
+    // (negation is exact and IEEE addition commutes).
+    const double sgn_raw[2] = {-1.0, 1.0};
+    const float64x2_t t = vmulq_f64(vmulq_f64(xs, wi), vld1q_f64(sgn_raw));
+    return {vaddq_f64(t, vmulq_f64(v, wr))};
+  }
   NeonVec conj_() const noexcept {
     const double sgn_raw[2] = {1.0, -1.0};
     return {vmulq_f64(v, vld1q_f64(sgn_raw))};
@@ -252,6 +288,8 @@ struct NeonVec {
   NeonVec scale(double s) const noexcept {
     return {vmulq_n_f64(v, s)};
   }
+
+  NeonVec reversed() const noexcept { return *this; }
 
   cplx hsum() const noexcept {
     return {vgetq_lane_f64(v, 0), vgetq_lane_f64(v, 1)};
