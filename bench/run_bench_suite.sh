@@ -14,7 +14,7 @@
 #                    BUILD_DIR/${BENCH_SNAPSHOT}.json)
 # Environment:
 #   BENCH_SNAPSHOT   snapshot stem used when OUT_JSON is not given and as
-#                    the "suite" tag inside the JSON (default: BENCH_PR8)
+#                    the "suite" tag inside the JSON (default: BENCH_PR9)
 #   BENCH_MIN_TIME   --benchmark_min_time per gbench binary, in seconds
 #                    (default 0.05; CI smoke uses 0.01)
 #   FTFFT_BENCH_RUNS / FTFFT_BENCH_SCALE are honored by the self-timed bench
@@ -22,7 +22,7 @@
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-SNAPSHOT=${BENCH_SNAPSHOT:-BENCH_PR8}
+SNAPSHOT=${BENCH_SNAPSHOT:-BENCH_PR9}
 OUT_JSON=${2:-${BUILD_DIR}/${SNAPSHOT}.json}
 MIN_TIME=${BENCH_MIN_TIME:-0.05}
 

@@ -8,6 +8,7 @@
 #include "abft/protection_plan.hpp"
 #include "checksum/dot.hpp"
 #include "checksum/memory_checksum.hpp"
+#include "checksum/multi_error.hpp"
 #include "checksum/weights.hpp"
 #include "common/error.hpp"
 #include "common/math_util.hpp"
@@ -80,10 +81,19 @@ class InplaceRun {
   void setup() {
     if (inj() != nullptr) inj()->apply(Phase::kInputBeforeChecksum, 0, x_, n_);
     if (opts_.memory_ft) {
-      // CMCG: slot i covers the layer-1 sub-FFT over x[s*blk + i].
+      // CMCG: slot i covers the layer-1 sub-FFT over x[s*blk + i]. With a
+      // multi-error budget (t > 1) the same pass also folds each weighted
+      // element into the slot's 2t syndrome moments (PR 9 escalation).
+      const int nm = plan_.syndrome_moments();
       s1_.assign(blk_, cplx{0, 0});
       s2_.assign(blk_, cplx{0, 0});
       e_in_.assign(blk_, 0.0);
+      if (nm > 0) {
+        checksum::SyndromeSet init;
+        init.moments = nm;
+        syn1_.assign(blk_, init);
+      }
+      const double inv_k = 1.0 / static_cast<double>(k_);
       const cplx* w = opts_.combined_checksums ? ck_ : nullptr;
       for (std::size_t s = 0; s < k_; ++s) {
         const cplx ws = (w != nullptr) ? w[s] : cplx{1.0, 0.0};
@@ -94,6 +104,7 @@ class InplaceRun {
           s1_[i] += p;
           s2_[i] += sd * p;
           e_in_[i] += norm2(row[i]);
+          if (nm > 0) syn1_[i].accumulate(s, p, inv_k);
         }
       }
     }
@@ -218,12 +229,30 @@ class InplaceRun {
     const double eta =
         opts_.combined_checksums ? eta_comp(e_in_[i]) : eta_mem(e_in_[i]);
     stats_.eta_mem = std::max(stats_.eta_mem, eta);
-    const auto rep = checksum::repair_single_error(stored, buf, 1, w, k_, eta,
-                                                   opts_.max_retries);
+    bool mismatch, corrected;
+    if (!syn1_.empty()) {
+      // Multi-error budget (PR 9): decode the slot's 2t-moment syndromes
+      // instead of the dual-only repair, so a burst cannot be "explained"
+      // by one wrong-index write that merely balances the two dual values —
+      // every hypothesis must reproduce all 2t moments.
+      const auto mrep = checksum::repair_errors(
+          syn1_[i], buf, 1, w, k_, eta, plan_.max_errors(),
+          /*max_iters=*/6, plan_.syndrome_nodes_k());
+      mismatch = mrep.mismatch;
+      corrected = mrep.corrected;
+      if (mrep.corrected && mrep.errors >= 2) {
+        stats_.multi_errors_corrected += static_cast<std::size_t>(mrep.errors);
+      }
+    } else {
+      const auto rep = checksum::repair_single_error(stored, buf, 1, w, k_,
+                                                     eta, opts_.max_retries);
+      mismatch = rep.mismatch;
+      corrected = rep.corrected;
+    }
     ++stats_.verifications;
-    if (!rep.mismatch) return false;
+    if (!mismatch) return false;
     ++stats_.mem_errors_detected;
-    if (!rep.corrected) {
+    if (!corrected) {
       throw UncorrectableError(
           "inplace ABFT: layer-1 input memory error not localizable");
     }
@@ -247,6 +276,9 @@ class InplaceRun {
     f1_.assign(k_ * r_, DualSum{});
     fccv_.assign(k_ * r_, cplx{0, 0});
     e_seg_.assign(k_ * r_, 0.0);
+    if (opts_.memory_ft && plan_.syndrome_moments() > 0) {
+      fsyn_.assign(k_ * r_, checksum::SyndromeSet{});
+    }
 
     for (std::size_t b = 0; b < k_; ++b) {
       cplx* block = x_ + b * blk_;
@@ -329,8 +361,17 @@ class InplaceRun {
         }
         // Output MCG for the postponed final verification (dual sums allow
         // direct correction — an in-place plan has no backup to recompute
-        // from once the block is overwritten).
+        // from once the block is overwritten). With a multi-error budget
+        // the segment also gets 2t syndrome moments: the output region is
+        // the longest-lived stored state of the in-place scheme and direct
+        // correction is its ONLY recovery, so this is where a burst would
+        // otherwise be fatal.
         f1_[unit] = checksum::dual_weighted_sum(nullptr, seg.data(), k_);
+        if (!fsyn_.empty()) {
+          fsyn_[unit] = checksum::syndrome_sum(nullptr, seg.data(), k_, 1,
+                                               plan_.syndrome_moments(),
+                                               plan_.syndrome_nodes_k());
+        }
         fccv_[unit] = ccg;
         e_seg_[unit] = energy;
         std::memcpy(src, seg.data(), k_ * sizeof(cplx));
@@ -385,10 +426,29 @@ class InplaceRun {
           ++stats_.verifications;
           if (std::abs(rx - fccv_[unit]) <= eta_comp(e_seg_[unit])) continue;
           ++stats_.mem_errors_detected;
-          const auto rep = checksum::repair_single_error(
-              f1_[unit], seg, 1, nullptr, k_, eta_mem(e_seg_[unit]),
-              opts_.max_retries);
-          if (!rep.corrected) {
+          bool corrected;
+          if (!fsyn_.empty()) {
+            // Multi-error budget (PR 9): the in-place output region has no
+            // backup, so direct syndrome decode is the only recovery. Using
+            // it for every count (not just as an escalation) also prevents a
+            // burst from being mis-"corrected" by a one-element write that
+            // balances the two duals but not the higher moments.
+            const auto mrep = checksum::repair_errors(
+                fsyn_[unit], seg, 1, nullptr, k_, eta_mem(e_seg_[unit]),
+                plan_.max_errors(), /*max_iters=*/6,
+                plan_.syndrome_nodes_k());
+            corrected = mrep.corrected;
+            if (mrep.corrected && mrep.errors >= 2) {
+              stats_.multi_errors_corrected +=
+                  static_cast<std::size_t>(mrep.errors);
+            }
+          } else {
+            const auto rep = checksum::repair_single_error(
+                f1_[unit], seg, 1, nullptr, k_, eta_mem(e_seg_[unit]),
+                opts_.max_retries);
+            corrected = rep.corrected;
+          }
+          if (!corrected) {
             throw UncorrectableError(
                 "inplace ABFT: final output memory error not localizable");
           }
@@ -428,10 +488,12 @@ class InplaceRun {
   Stats& stats_;
 
   std::vector<cplx> s1_, s2_;     // CMCG slots (layer-1 inputs)
+  std::vector<checksum::SyndromeSet> syn1_;  // per-slot 2t moments (t > 1)
   std::vector<double> e_in_;
   std::vector<DualSum> b1_;       // per-block checksums (intermediate window)
   std::vector<double> e_blk_;
   std::vector<DualSum> f1_;       // per-segment output duals
+  std::vector<checksum::SyndromeSet> fsyn_;  // per-segment moments (t > 1)
   std::vector<cplx> fccv_;        // per-segment computational checksums
   std::vector<double> e_seg_;
 };

@@ -6,6 +6,7 @@
 #include "abft/protection_plan.hpp"
 #include "checksum/dot.hpp"
 #include "checksum/memory_checksum.hpp"
+#include "checksum/multi_error.hpp"
 #include "checksum/weights.hpp"
 #include "common/error.hpp"
 #include "fft/fft.hpp"
@@ -52,6 +53,7 @@ void offline_transform(cplx* in, cplx* out, const ProtectionPlan& plan,
 
   cplx ccg;          // (rA) x — the computational reference value
   DualSum mem_ref;   // stored memory checksums (memory_ft only)
+  checksum::SyndromeSet syn_ref;  // 2t moments (memory_ft and t > 1 only)
   double energy;
   const cplx* mem_weights = nullptr;  // nullptr = classic all-ones r1/r2
   if (opts.memory_ft) {
@@ -75,6 +77,15 @@ void offline_transform(cplx* in, cplx* out, const ProtectionPlan& plan,
     const auto s = checksum::weighted_sum_energy(ra, in, n);
     ccg = s.sum;
     energy = s.energy;
+  }
+  if (opts.memory_ft && plan.syndrome_moments() > 0) {
+    // Multi-error escalation (PR 9): 2t moment sums over the same weighted
+    // input the dual checksums cover. Generated only when the plan was
+    // resolved with max_correctable_errors > 1, so the default path pays
+    // nothing.
+    syn_ref = checksum::syndrome_sum(mem_weights, in, n, 1,
+                                     plan.syndrome_moments(),
+                                     plan.syndrome_nodes_m());
   }
 
   const double sigma0 =
@@ -135,11 +146,35 @@ void offline_transform(cplx* in, cplx* out, const ProtectionPlan& plan,
       // repair. Combined checksums carry the O(n)-magnitude (rA) weights,
       // so their comparison threshold is the computational eta.
       const double eta_disc = opts.combined_checksums ? eta : eta_mem;
-      const auto rep = checksum::repair_single_error(
-          mem_ref, in, 1, mem_weights, n, eta_disc, opts.max_retries);
-      if (rep.mismatch) {
+      bool mismatch, corrected;
+      if (syn_ref.moments > 0) {
+        // Multi-error budget (PR 9): decode the 2t-moment syndromes instead
+        // of the dual-only repair. This is not just an escalation — the dual
+        // checksums carry exactly two values, so a two-error burst whose
+        // residual ratio lands near an integer can be "explained" by one
+        // wrong-index write that the dual repair accepts (and, with combined
+        // checksums, the CCV then passes by construction). The syndrome
+        // decoder checks every hypothesis against all 2t moments, so a
+        // single-error fix of a multi-error burst is rejected and the burst
+        // decodes at its true count.
+        const auto mrep = checksum::repair_errors(
+            syn_ref, in, 1, mem_weights, n, eta_disc, plan.max_errors(),
+            /*max_iters=*/6, plan.syndrome_nodes_m());
+        mismatch = mrep.mismatch;
+        corrected = mrep.corrected;
+        if (mrep.corrected && mrep.errors >= 2) {
+          stats.multi_errors_corrected +=
+              static_cast<std::size_t>(mrep.errors);
+        }
+      } else {
+        const auto rep = checksum::repair_single_error(
+            mem_ref, in, 1, mem_weights, n, eta_disc, opts.max_retries);
+        mismatch = rep.mismatch;
+        corrected = rep.corrected;
+      }
+      if (mismatch) {
         ++stats.mem_errors_detected;
-        if (!rep.corrected) {
+        if (!corrected) {
           throw UncorrectableError(
               "offline ABFT: input memory error detected but could not be "
               "localized");

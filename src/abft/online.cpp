@@ -9,6 +9,7 @@
 #include "abft/protection_plan.hpp"
 #include "checksum/dot.hpp"
 #include "checksum/memory_checksum.hpp"
+#include "checksum/multi_error.hpp"
 #include "checksum/weights.hpp"
 #include "common/error.hpp"
 #include "common/math_util.hpp"
@@ -81,9 +82,19 @@ class OnlineRun {
     e_in_.assign(k_, 0.0);
     if (opts_.memory_ft) {
       // CMCG: one contiguous pass over the input builds the per-sub-FFT
-      // dual checksums (slot i covers elements x[t*k + i]).
+      // dual checksums (slot i covers elements x[t*k + i]). With a
+      // multi-error budget (t > 1) the same pass also folds each weighted
+      // element into the slot's 2t syndrome moments — the only extra cost
+      // the escalation path adds to a fault-free run.
+      const int nm = plan_.syndrome_moments();
       s1_.assign(k_, cplx{0, 0});
       s2_.assign(k_, cplx{0, 0});
+      if (nm > 0) {
+        checksum::SyndromeSet init;
+        init.moments = nm;
+        syn1_.assign(k_, init);
+      }
+      const double inv_m = 1.0 / static_cast<double>(m_);
       for (std::size_t t = 0; t < m_; ++t) {
         const cplx w = opts_.combined_checksums ? cm_[t] : cplx{1.0, 0.0};
         const double td = static_cast<double>(t);
@@ -93,6 +104,7 @@ class OnlineRun {
           s1_[i] += p;
           s2_[i] += td * p;
           e_in_[i] += norm2(row[i]);
+          if (nm > 0) syn1_[i].accumulate(t, p, inv_m);
         }
       }
     }
@@ -282,13 +294,33 @@ class OnlineRun {
                                            : plan_.eta_m().mem,
                                        sigma_i);
     stats_.eta_mem = std::max(stats_.eta_mem, eta_mem);
-    const DualSum stored{s1_[i], s2_[i]};
-    const auto rep = checksum::repair_single_error(
-        stored, x_ + i, k_, weights, m_, eta_mem, opts_.max_retries);
+    bool mismatch, corrected;
+    if (!syn1_.empty()) {
+      // Multi-error budget (PR 9): decode the slot's 2t-moment syndromes
+      // instead of the dual-only repair. The duals carry two values, so a
+      // multi-error burst whose residual ratio lands near an integer can be
+      // "explained" by one wrong-index write the dual repair accepts; the
+      // syndrome decoder checks every hypothesis against all 2t moments and
+      // decodes the burst at its true count.
+      const auto mrep = checksum::repair_errors(
+          syn1_[i], x_ + i, k_, weights, m_, eta_mem, plan_.max_errors(),
+          /*max_iters=*/6, plan_.syndrome_nodes_m());
+      mismatch = mrep.mismatch;
+      corrected = mrep.corrected;
+      if (mrep.corrected && mrep.errors >= 2) {
+        stats_.multi_errors_corrected += static_cast<std::size_t>(mrep.errors);
+      }
+    } else {
+      const auto rep = checksum::repair_single_error(
+          checksum::DualSum{s1_[i], s2_[i]}, x_ + i, k_, weights, m_, eta_mem,
+          opts_.max_retries);
+      mismatch = rep.mismatch;
+      corrected = rep.corrected;
+    }
     ++stats_.verifications;
-    if (!rep.mismatch) return false;
+    if (!mismatch) return false;
     ++stats_.mem_errors_detected;
-    if (!rep.corrected) {
+    if (!corrected) {
       throw UncorrectableError(
           "online ABFT: input memory error detected but not localizable");
     }
@@ -420,7 +452,11 @@ class OnlineRun {
       ++stats_.verifications;
       if (std::abs(cur.sums.plain - stored.plain) > eta_mem) {
         // Mismatch: repair the authoritative intermediate iteratively, then
-        // refresh the staged copy.
+        // refresh the staged copy. Derived checksums (these column duals
+        // are accumulated from sub-FFT outputs, not generated over stored
+        // data) deliberately stay single-error: a multi-error burst in the
+        // short-lived intermediate is already caught by the postponed final
+        // MCV, whose recovery recomputes the column from the backup.
         ++stats_.mem_errors_detected;
         const auto rep = checksum::repair_single_error(
             stored, out_ + c, m_, nullptr, k_, eta_mem, opts_.max_retries);
@@ -599,6 +635,7 @@ class OnlineRun {
   bool postpone1_ = false;
 
   std::vector<cplx> s1_, s2_;        // CMCG slots per first-layer sub-FFT
+  std::vector<checksum::SyndromeSet> syn1_;  // per-slot 2t moments (t > 1)
   std::vector<double> e_in_;         // per-sub-FFT input energy
   std::vector<DualSum> r1_;          // naive row checksums of Y_i
   std::vector<cplx> o1_, o2_;        // column checksums of the intermediate

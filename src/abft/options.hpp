@@ -81,6 +81,19 @@ struct Options {
   /// not because they are unsafe.
   bool fused_ignore_profitability = false;
 
+  /// Maximum number of simultaneously corrupted elements the memory-fault
+  /// repair will correct per protected region (PR 9). The default 1 (from
+  /// FTFFT_MAX_ERRORS, clamped to [1, checksum::kMaxCorrectableErrors] at
+  /// plan resolution) keeps today's dual-checksum single-error path
+  /// bit-for-bit. t > 1 additionally maintains 2t weighted moment sums
+  /// (syndromes) over each protected input region and, when the
+  /// single-error locate fails its residual check, escalates to the
+  /// Reed-Solomon-style decoder in checksum/multi_error.hpp before falling
+  /// back to recompute. Derived intermediate checksums stay single-error —
+  /// escalation guards the long-lived input/backup regions where spatial
+  /// multi-bit bursts actually land.
+  int max_correctable_errors = static_cast<int>(env_long("FTFFT_MAX_ERRORS", 1));
+
   /// Detection threshold override; 0 = derive from the round-off model and
   /// the measured input energy.
   double eta_override = 0.0;
@@ -158,6 +171,8 @@ struct Stats {
   std::size_t comp_errors_detected = 0;  ///< CCV mismatches blamed on compute
   std::size_t mem_errors_detected = 0;   ///< checksum-localized memory faults
   std::size_t mem_errors_corrected = 0;  ///< of those, corrected in place
+  std::size_t multi_errors_corrected = 0;  ///< corrections decoded from the
+                                           ///< t>1 syndrome escalation path
   std::size_t sub_fft_retries = 0;       ///< sub-FFT re-executions (online)
   std::size_t full_restarts = 0;         ///< whole-transform re-runs (offline)
   std::size_t dmr_mismatches = 0;        ///< twiddle/DMR votes taken

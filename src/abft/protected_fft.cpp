@@ -25,6 +25,14 @@ void protected_transform(cplx* in, cplx* out, std::size_t n,
                          const Options& opts, Stats& stats,
                          const ProtectionPlan* plan) {
   require_plan_size(plan, n);
+  if (opts.mode != Mode::kNone &&
+      detail::inject_plan_state(n, opts, /*inplace=*/false)) {
+    // A plan-state fault just landed in the cached metadata. Drop any
+    // pre-resolved handle (it may point at the poisoned bytes) and let the
+    // dispatch below re-resolve through the verifying registry, which
+    // detects the seal mismatch, evicts the entry and rebuilds it.
+    plan = nullptr;
+  }
   switch (opts.mode) {
     case Mode::kNone: {
       fft::Fft engine(n);
@@ -52,6 +60,10 @@ void protected_transform_inplace(cplx* data, std::size_t n,
                                  const Options& opts, Stats& stats,
                                  const ProtectionPlan* plan) {
   require_plan_size(plan, n);
+  if (opts.mode != Mode::kNone &&
+      detail::inject_plan_state(n, opts, /*inplace=*/true)) {
+    plan = nullptr;  // see protected_transform: re-resolve verified state
+  }
   switch (opts.mode) {
     case Mode::kNone: {
       fft::Fft engine(n);

@@ -25,6 +25,7 @@ struct PlanKey {
   checksum::RaGenMethod ra_method;
   bool contiguous_buffering;
   std::size_t batch_columns;
+  int max_errors;
   bool operator==(const PlanKey&) const = default;
 };
 
@@ -35,22 +36,32 @@ struct PlanKeyHash {
     h = h * 31 + static_cast<std::size_t>(key.ra_method);
     h = h * 31 + static_cast<std::size_t>(key.contiguous_buffering);
     h = h * 31 + key.batch_columns;
+    h = h * 31 + static_cast<std::size_t>(key.max_errors);
     return h;
   }
 };
 
+std::uint64_t seal_protection_plan(const ProtectionPlan& plan) {
+  StateSpans spans;
+  plan.collect_state(spans);
+  return seal_spans(spans);
+}
+
 PlanRegistry<PlanKey, ProtectionPlan, PlanKeyHash>& registry() {
   static PlanRegistry<PlanKey, ProtectionPlan, PlanKeyHash> instance(
-      plan_cache_capacity());
+      plan_cache_capacity(), seal_protection_plan);
   return instance;
 }
 
-// Enroll in plan_cache_stats() before main. The lambda is lazy on purpose:
-// the registry (and its FTFFT_PLAN_CACHE_CAP read) is only materialized at
-// first use or first stats call, never during static initialization.
+// Enroll in plan_cache_stats() / scrub_plan_caches() before main. The
+// lambdas are lazy on purpose: the registry (and its FTFFT_PLAN_CACHE_CAP /
+// FTFFT_PLAN_VERIFY reads) is only materialized at first use or first stats
+// call, never during static initialization.
 const bool registry_registered =
-    (ftfft::detail::register_plan_cache(
-         [] { return registry().snapshot("protection-plan"); }),
+    (ftfft::detail::register_plan_cache(ftfft::detail::PlanCacheHooks{
+         [] { return registry().snapshot("protection-plan"); },
+         [] { return registry().scrub(); },
+         [](std::size_t k) { registry().set_verify_interval(k); }}),
      true);
 
 EtaCoeffs eta_coeffs(std::size_t n) {
@@ -83,7 +94,9 @@ bool fused_profitable(std::size_t n) noexcept {
 
 ProtectionPlan::ProtectionPlan(std::size_t n, Scheme scheme,
                                const Options& opts)
-    : n_(n), scheme_(scheme) {
+    : n_(n),
+      scheme_(scheme),
+      max_errors_(checksum::clamp_max_errors(opts.max_correctable_errors)) {
   plan_builds.fetch_add(1, std::memory_order_relaxed);
   switch (scheme) {
     case Scheme::kOffline: {
@@ -94,6 +107,7 @@ ProtectionPlan::ProtectionPlan(std::size_t n, Scheme scheme,
         fused_m_ = fft::InplaceRadix2Plan::get(n);
         w3m_ = checksum::shared_comp_weights(n);
       }
+      if (max_errors_ > 1) sn_m_ = checksum::shared_syndrome_nodes(n);
       break;
     }
     case Scheme::kOnline: {
@@ -121,6 +135,10 @@ ProtectionPlan::ProtectionPlan(std::size_t n, Scheme scheme,
                 : kStageElems / std::max<std::size_t>(k_, 1),
             1, m_);
       }
+      if (max_errors_ > 1) {
+        sn_m_ = checksum::shared_syndrome_nodes(m_);
+        sn_k_ = checksum::shared_syndrome_nodes(k_);
+      }
       break;
     }
     case Scheme::kOnlineInplace: {
@@ -136,6 +154,10 @@ ProtectionPlan::ProtectionPlan(std::size_t n, Scheme scheme,
         fused_k_ = fft::InplaceRadix2Plan::get(k_);
         w3k_ = checksum::shared_comp_weights(k_);
       }
+      if (max_errors_ > 1) {
+        sn_m_ = checksum::shared_syndrome_nodes(blk_);
+        sn_k_ = checksum::shared_syndrome_nodes(k_);
+      }
       break;
     }
   }
@@ -148,8 +170,12 @@ std::shared_ptr<const ProtectionPlan> ProtectionPlan::get(std::size_t n,
   // only buffered ones); normalize the irrelevant combinations out of the
   // key so option sweeps don't dilute the LRU with identical entries.
   const bool buffered = scheme == Scheme::kOnline && opts.contiguous_buffering;
-  const PlanKey key{n, scheme, opts.ra_method, buffered,
-                    buffered ? opts.batch_columns : 0};
+  const PlanKey key{n,
+                    scheme,
+                    opts.ra_method,
+                    buffered,
+                    buffered ? opts.batch_columns : 0,
+                    checksum::clamp_max_errors(opts.max_correctable_errors)};
   return registry().get_or_build(key, [&] {
     return std::make_shared<const ProtectionPlan>(n, scheme, opts);
   });
@@ -184,5 +210,32 @@ std::shared_ptr<const ProtectionPlan> resolve_protection_plan(
   }
   return nullptr;  // unreachable; keeps GCC's -Wreturn-type quiet
 }
+
+namespace detail {
+
+bool inject_plan_state(std::size_t n, const Options& opts, bool inplace) {
+  if (opts.injector == nullptr ||
+      !opts.injector->pending(fault::Phase::kPlanState)) {
+    return false;
+  }
+  const auto plan = resolve_protection_plan(n, opts, inplace);
+  if (!plan) return false;
+  StateSpans s;
+  plan->collect_state(s);
+  std::size_t fired = 0;
+  for (std::size_t i = 0; i < s.spans.size(); ++i) {
+    // The spans are immutable by contract; the const_cast models a hardware
+    // upset in long-lived plan memory, which is exactly what the registry
+    // seals exist to catch. A span is viewed as cplx elements (16-byte
+    // granules) so FaultSpec addressing works unchanged; spans smaller than
+    // one granule (none today) are skipped.
+    const std::size_t len = s.spans[i].bytes / sizeof(cplx);
+    auto* data = static_cast<cplx*>(const_cast<void*>(s.spans[i].data));
+    fired += opts.injector->apply(fault::Phase::kPlanState, i, data, len);
+  }
+  return fired > 0;
+}
+
+}  // namespace detail
 
 }  // namespace ftfft::abft

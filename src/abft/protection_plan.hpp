@@ -22,8 +22,11 @@
 #include <vector>
 
 #include "abft/options.hpp"
+#include "checksum/multi_error.hpp"
 #include "checksum/weights.hpp"
 #include "common/complex.hpp"
+#include "common/error.hpp"
+#include "common/seal.hpp"
 #include "fft/inplace_radix2.hpp"
 
 namespace ftfft::abft {
@@ -118,6 +121,46 @@ class ProtectionPlan {
     return eta_whole_;
   }
 
+  // ---- Multi-error escalation support (PR 9). Present only when the plan
+  // was resolved with Options::max_correctable_errors > 1; the default
+  // single-error configuration carries none of this state.
+
+  /// Clamped Options::max_correctable_errors the plan was resolved with.
+  [[nodiscard]] int max_errors() const noexcept { return max_errors_; }
+  /// Syndrome moment count 2t maintained per protected region (0 when
+  /// max_errors() == 1).
+  [[nodiscard]] int syndrome_moments() const noexcept {
+    return max_errors_ > 1 ? 2 * max_errors_ : 0;
+  }
+  /// Duplicated normalized node table (checksum::shared_syndrome_nodes) for
+  /// the first-layer / whole-transform region size (kOffline: n; kOnline: m;
+  /// kOnlineInplace: the r*k block). nullptr when max_errors() == 1.
+  [[nodiscard]] const double* syndrome_nodes_m() const noexcept {
+    return sn_m_ ? sn_m_->data() : nullptr;
+  }
+  /// Node table for the second-layer / outer region size k. nullptr for
+  /// kOffline or when max_errors() == 1.
+  [[nodiscard]] const double* syndrome_nodes_k() const noexcept {
+    return sn_k_ ? sn_k_->data() : nullptr;
+  }
+
+  /// Appends every cached payload the plan references — checksum-weight and
+  /// omega3 vectors, syndrome node tables, and (transitively) the fused
+  /// in-place sub-plans — to `out`. This span set is what the
+  /// protection-plan registry seals: the seal stays valid even after the
+  /// referenced vectors' own caches evicted them, because the shared_ptr
+  /// handles pin the exact bytes hashed at build time.
+  void collect_state(StateSpans& out) const {
+    if (wm_) out.add_vec(*wm_);
+    if (wk_) out.add_vec(*wk_);
+    if (w3m_) out.add_vec(*w3m_);
+    if (w3k_) out.add_vec(*w3k_);
+    if (sn_m_) out.add_vec(*sn_m_);
+    if (sn_k_) out.add_vec(*sn_k_);
+    if (fused_m_) fused_m_->collect_state(out);
+    if (fused_k_) fused_k_->collect_state(out);
+  }
+
   /// kOnline staging layout (section 4.4), resolved from the options once:
   /// sub-FFTs gathered per first-layer staging block and columns staged per
   /// second-layer pass. Both are 1 when contiguous_buffering is off.
@@ -148,6 +191,9 @@ class ProtectionPlan {
   std::shared_ptr<const fft::InplaceRadix2Plan> fused_k_;
   std::shared_ptr<const std::vector<cplx>> w3m_;
   std::shared_ptr<const std::vector<cplx>> w3k_;
+  int max_errors_ = 1;
+  std::shared_ptr<const std::vector<double>> sn_m_;
+  std::shared_ptr<const std::vector<double>> sn_k_;
   EtaCoeffs eta_m_, eta_k_, eta_block_, eta_whole_;
   std::size_t layer1_batch_ = 1;
   std::size_t layer2_cols_ = 1;
@@ -173,5 +219,21 @@ class ProtectionPlan {
 /// through a copy and runs out of place).
 std::shared_ptr<const ProtectionPlan> resolve_protection_plan(
     std::size_t n, const Options& opts, bool inplace);
+
+namespace detail {
+// Keep unqualified detail::require working in ftfft::abft files now that
+// this namespace exists (same idiom as parallel/parallel_plan.hpp).
+using ftfft::detail::require;
+
+/// Phase::kPlanState injection hook (fault campaigns only): resolves the
+/// plan the transform is about to use and fires every armed kPlanState
+/// fault of opts.injector into its cached state spans — unit selects the
+/// span (collect_state order), element the cplx-sized offset within it.
+/// Returns true when at least one fault landed, in which case the caller
+/// must drop any pre-resolved plan handle and re-resolve through the
+/// verifying registry, which detects the seal mismatch, evicts and
+/// rebuilds (set_plan_verify_interval(1) makes detection immediate).
+bool inject_plan_state(std::size_t n, const Options& opts, bool inplace);
+}  // namespace detail
 
 }  // namespace ftfft::abft

@@ -24,15 +24,23 @@ using fault::Phase;
 
 std::atomic<std::uint64_t> g_build_count{0};
 
+std::uint64_t seal_real_protection_plan(const RealProtectionPlan& plan) {
+  StateSpans spans;
+  plan.collect_state(spans);
+  return seal_spans(spans);
+}
+
 PlanRegistry<std::size_t, RealProtectionPlan>& registry() {
   static PlanRegistry<std::size_t, RealProtectionPlan> instance(
-      plan_cache_capacity());
+      plan_cache_capacity(), seal_real_protection_plan);
   return instance;
 }
 
 const bool registry_registered =
-    (ftfft::detail::register_plan_cache(
-         [] { return registry().snapshot("real-protection-plan"); }),
+    (ftfft::detail::register_plan_cache(ftfft::detail::PlanCacheHooks{
+         [] { return registry().snapshot("real-protection-plan"); },
+         [] { return registry().scrub(); },
+         [](std::size_t k) { registry().set_verify_interval(k); }}),
      true);
 
 double sigma_from_energy(double energy, std::size_t n) {

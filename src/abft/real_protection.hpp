@@ -40,6 +40,7 @@
 
 #include "abft/options.hpp"
 #include "common/complex.hpp"
+#include "common/seal.hpp"
 #include "fft/real_fft.hpp"
 
 namespace ftfft::abft {
@@ -96,6 +97,18 @@ class RealProtectionPlan {
   /// roundoff::practical_eta_real_coeff(nc); eta_from_coeff(coeff, sigma)
   /// yields the per-call threshold.
   [[nodiscard]] double eta_coeff() const noexcept { return eta_coeff_; }
+
+  /// Appends the pullback vectors, omega3 weights and (transitively) the
+  /// underlying real plan's cached state to `out` (plan-state sealing; see
+  /// common/seal.hpp).
+  void collect_state(StateSpans& out) const {
+    out.add_vec(a_);
+    out.add_vec(gc_);
+    out.add_vec(ac_);
+    out.add_vec(g_);
+    if (w3_) out.add_vec(*w3_);
+    if (rplan_) rplan_->collect_state(out);
+  }
 
   // ---- cache introspection (tests, benches, monitoring) ----
   [[nodiscard]] static std::uint64_t build_count() noexcept;

@@ -8,6 +8,7 @@
 #include "common/env.hpp"
 #include "common/math_util.hpp"
 #include "common/plan_registry.hpp"
+#include "common/seal.hpp"
 
 namespace ftfft::checksum {
 namespace {
@@ -102,18 +103,25 @@ std::vector<cplx> input_checksum_vector_dmr(std::size_t n, RaGenMethod method,
 
 namespace {
 
+std::uint64_t seal_cplx_vec(const std::vector<cplx>& v) {
+  return fnv1a(v.data(), v.size() * sizeof(cplx));
+}
+
 PlanRegistry<RaKey, std::vector<cplx>, RaKeyHash>& ra_registry() {
   static PlanRegistry<RaKey, std::vector<cplx>, RaKeyHash> registry(
-      plan_cache_capacity());
+      plan_cache_capacity(), seal_cplx_vec);
   return registry;
 }
 
-// Enroll in plan_cache_stats() before main. The lambda is lazy on purpose:
-// the registry (and its FTFFT_PLAN_CACHE_CAP read) is only materialized at
-// first use or first stats call, never during static initialization.
+// Enroll in plan_cache_stats() / scrub_plan_caches() before main. The
+// lambdas are lazy on purpose: the registry (and its FTFFT_PLAN_CACHE_CAP /
+// FTFFT_PLAN_VERIFY reads) is only materialized at first use or first stats
+// call, never during static initialization.
 const bool ra_registry_registered =
-    (ftfft::detail::register_plan_cache(
-         [] { return ra_registry().snapshot("checksum-weights"); }),
+    (ftfft::detail::register_plan_cache(ftfft::detail::PlanCacheHooks{
+         [] { return ra_registry().snapshot("checksum-weights"); },
+         [] { return ra_registry().scrub(); },
+         [](std::size_t k) { ra_registry().set_verify_interval(k); }}),
      true);
 
 }  // namespace
@@ -130,13 +138,17 @@ namespace {
 
 PlanRegistry<std::size_t, std::vector<cplx>>& comp_weights_registry() {
   static PlanRegistry<std::size_t, std::vector<cplx>> registry(
-      plan_cache_capacity());
+      plan_cache_capacity(), seal_cplx_vec);
   return registry;
 }
 
 const bool comp_weights_registry_registered =
-    (ftfft::detail::register_plan_cache(
-         [] { return comp_weights_registry().snapshot("comp-weights"); }),
+    (ftfft::detail::register_plan_cache(ftfft::detail::PlanCacheHooks{
+         [] { return comp_weights_registry().snapshot("comp-weights"); },
+         [] { return comp_weights_registry().scrub(); },
+         [](std::size_t k) {
+           comp_weights_registry().set_verify_interval(k);
+         }}),
      true);
 
 }  // namespace

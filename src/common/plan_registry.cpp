@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/env.hpp"
+
 namespace ftfft {
 
 namespace {
 
 struct CacheList {
   std::mutex mu;
-  std::vector<std::function<PlanCacheStats()>> snapshots;
+  std::vector<detail::PlanCacheHooks> caches;
 };
 
 // Meyers singleton so registration from any static initializer is safe
@@ -19,33 +21,60 @@ CacheList& cache_list() {
   return instance;
 }
 
+std::vector<detail::PlanCacheHooks> cache_hooks_copy() {
+  CacheList& list = cache_list();
+  std::scoped_lock lock(list.mu);
+  return list.caches;
+}
+
 }  // namespace
 
 namespace detail {
 
-void register_plan_cache(std::function<PlanCacheStats()> snapshot) {
+void register_plan_cache(PlanCacheHooks hooks) {
   CacheList& list = cache_list();
   std::scoped_lock lock(list.mu);
-  list.snapshots.push_back(std::move(snapshot));
+  list.caches.push_back(std::move(hooks));
+}
+
+void register_plan_cache(std::function<PlanCacheStats()> snapshot) {
+  register_plan_cache(PlanCacheHooks{std::move(snapshot), nullptr, nullptr});
+}
+
+std::size_t default_plan_verify_interval() {
+  // Latched once: re-hashing megabytes of twiddles on every acquire is a
+  // measurable tax, so acquire-time verification is opt-in (scrub sweeps
+  // and fault campaigns turn it on).
+  static const std::size_t interval = env_size("FTFFT_PLAN_VERIFY", 0);
+  return interval;
 }
 
 }  // namespace detail
 
 std::vector<PlanCacheStats> plan_cache_stats() {
-  std::vector<std::function<PlanCacheStats()>> snapshots;
-  {
-    CacheList& list = cache_list();
-    std::scoped_lock lock(list.mu);
-    snapshots = list.snapshots;
-  }
   std::vector<PlanCacheStats> stats;
-  stats.reserve(snapshots.size());
-  for (const auto& snap : snapshots) stats.push_back(snap());
+  for (const auto& cache : cache_hooks_copy()) {
+    if (cache.snapshot) stats.push_back(cache.snapshot());
+  }
   std::sort(stats.begin(), stats.end(),
             [](const PlanCacheStats& a, const PlanCacheStats& b) {
               return std::strcmp(a.name, b.name) < 0;
             });
   return stats;
+}
+
+std::size_t scrub_plan_caches() {
+  std::size_t evicted = 0;
+  for (const auto& cache : cache_hooks_copy()) {
+    if (cache.scrub) evicted += cache.scrub();
+  }
+  return evicted;
+}
+
+void set_plan_verify_interval(std::size_t interval) {
+  for (const auto& cache : cache_hooks_copy()) {
+    if (cache.set_verify_interval) cache.set_verify_interval(interval);
+  }
 }
 
 }  // namespace ftfft

@@ -1,17 +1,26 @@
 // Shared LRU-bounded cache for immutable, expensive-to-build plan objects.
 //
-// Four process-wide caches used to grow monotonically: the mixed-radix plan
-// tree (fft::make_plan), the iterative in-place plan
-// (fft::InplaceRadix2Plan::get), the checksum weight vectors, and the ABFT
-// ProtectionPlan. A long-lived server transforming many distinct sizes would
-// pin all of them forever. PlanRegistry gives every one of those caches the
-// same contract: thread-safe get-or-build, least-recently-used eviction
-// beyond a configurable capacity (FTFFT_PLAN_CACHE_CAP by default, see
-// common/env.hpp), and hit/miss/eviction counters for tests and monitoring.
+// Process-wide caches (the mixed-radix plan tree, the iterative in-place
+// plan, the checksum weight and syndrome node vectors, the ABFT protection
+// plans) used to grow monotonically. A long-lived server transforming many
+// distinct sizes would pin all of them forever. PlanRegistry gives every one
+// of those caches the same contract: thread-safe get-or-build,
+// least-recently-used eviction beyond a configurable capacity
+// (FTFFT_PLAN_CACHE_CAP by default, see common/env.hpp), and
+// hit/miss/eviction counters for tests and monitoring.
 //
 // Values are handed out as shared_ptr<const V>: eviction only drops the
 // registry's reference, so a plan still executing somewhere stays alive
 // until its last user releases it.
+//
+// Plan-state protection (see common/seal.hpp): a registry constructed with a
+// sealer hashes every value at insertion and can re-verify the bytes later —
+// on an acquire cadence (set_verify_interval, FTFFT_PLAN_VERIFY) and in an
+// explicit scrub() sweep. A seal mismatch means the cached bytes changed
+// after build (a hardware upset in long-lived plan memory); the entry is
+// evicted and the next acquire rebuilds it instead of serving poison.
+// Detected corruptions and verification sweeps are counted in
+// PlanCacheStats.
 #pragma once
 
 #include <cstddef>
@@ -34,6 +43,8 @@ struct PlanCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t verifications = 0;  ///< seal re-checks performed
+  std::uint64_t corruptions = 0;    ///< seal mismatches (entries evicted)
 };
 
 /// Snapshot of every named process-wide plan cache, sorted by name. This is
@@ -41,13 +52,33 @@ struct PlanCacheStats {
 /// and a hit rate below its neighbors is thrashing its bound.
 std::vector<PlanCacheStats> plan_cache_stats();
 
+/// Re-verifies the integrity seal of every entry in every sealed plan cache,
+/// evicting corrupted entries so the next acquire rebuilds them. Returns the
+/// number of corrupted entries evicted. Safe to call from a background
+/// scrubber thread; each cache is swept under its own lock.
+std::size_t scrub_plan_caches();
+
+/// Sets the verify-on-acquire interval of every registered cache: an entry's
+/// seal is re-checked every `interval`-th acquire (1 = every acquire, 0 =
+/// off). Overrides the FTFFT_PLAN_VERIFY default process-wide.
+void set_plan_verify_interval(std::size_t interval);
+
 namespace detail {
-/// Registers a cache's snapshot callback for plan_cache_stats(). Called
+/// A cache's registration record for the process-wide sweeps above. Only
+/// `snapshot` is required; caches without a sealer leave the others null.
+struct PlanCacheHooks {
+  std::function<PlanCacheStats()> snapshot;
+  std::function<std::size_t()> scrub;
+  std::function<void(std::size_t)> set_verify_interval;
+};
+
+/// Registers a cache for plan_cache_stats() / scrub_plan_caches(). Called
 /// from pre-main initializers in the modules that own a cache, so the
-/// callback must be lazy: it may construct the registry when invoked (and
+/// callbacks must be lazy: they may construct the registry when invoked (and
 /// thereby latch FTFFT_PLAN_CACHE_CAP), but registration itself must not —
-/// applications set the env knob as late as the top of main(). There is no
+/// applications set the env knobs as late as the top of main(). There is no
 /// unregister; registered caches are immortal function-local statics.
+void register_plan_cache(PlanCacheHooks hooks);
 void register_plan_cache(std::function<PlanCacheStats()> snapshot);
 }  // namespace detail
 
@@ -55,13 +86,21 @@ void register_plan_cache(std::function<PlanCacheStats()> snapshot);
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class PlanRegistry {
  public:
-  /// capacity 0 = unbounded (the pre-eviction behavior).
-  explicit PlanRegistry(std::size_t capacity) : capacity_(capacity) {}
+  /// Hashes a value's immutable payload bytes at insertion time; re-run to
+  /// verify. Must be pure (same value => same seal).
+  using Sealer = std::function<std::uint64_t(const Value&)>;
+
+  /// capacity 0 = unbounded (the pre-eviction behavior). `sealer` enables
+  /// plan-state verification; `verify_interval` defaults from
+  /// FTFFT_PLAN_VERIFY (common/env.hpp) and is ignored without a sealer.
+  explicit PlanRegistry(std::size_t capacity, Sealer sealer = nullptr,
+                        std::size_t verify_interval = SIZE_MAX);
 
   /// Counters snapshot under `name` for plan_cache_stats().
   [[nodiscard]] PlanCacheStats snapshot(const char* name) const {
     std::scoped_lock lock(mu_);
-    return {name, lru_.size(), capacity_, hits_, misses_, evictions_};
+    return {name,    lru_.size(), capacity_,      hits_,
+            misses_, evictions_,  verifications_, corruptions_};
   }
 
   /// Returns the cached value for `key`, building it via `build()` on a
@@ -69,30 +108,73 @@ class PlanRegistry {
   /// *outside* the registry lock (plan construction can be slow); two
   /// threads missing the same key concurrently may both build, in which
   /// case the first insertion wins and the loser's copy is discarded —
-  /// sound because plans are immutable.
+  /// sound because plans are immutable. With a sealer and a nonzero verify
+  /// interval, a hit re-checks the entry's seal on the configured cadence;
+  /// a mismatch evicts the corrupted entry and falls through to a rebuild,
+  /// so the caller always receives verified-or-fresh state.
   template <typename Builder>
   std::shared_ptr<const Value> get_or_build(const Key& key, Builder&& build) {
     {
       std::scoped_lock lock(mu_);
       auto it = map_.find(key);
       if (it != map_.end()) {
-        lru_.splice(lru_.begin(), lru_, it->second);
-        ++hits_;
-        return it->second->second;
+        if (!verify_entry_locked(it)) {
+          ++misses_;  // corrupted: evicted below as if never cached
+        } else {
+          lru_.splice(lru_.begin(), lru_, it->second);
+          ++hits_;
+          return it->second->value;
+        }
+      } else {
+        ++misses_;
       }
-      ++misses_;
     }
     std::shared_ptr<const Value> built = build();
+    const std::uint64_t seal = sealer_ ? sealer_(*built) : 0;
     std::scoped_lock lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
-      return it->second->second;
+      return it->second->value;
     }
-    lru_.emplace_front(key, built);
+    lru_.push_front(Entry{key, std::move(built), seal, 0});
     map_.emplace(key, lru_.begin());
     evict_locked();
-    return built;
+    return lru_.front().value;
+  }
+
+  /// Re-verifies every entry's seal, evicting corrupted ones. Returns the
+  /// number evicted. No-op (returns 0) without a sealer.
+  std::size_t scrub() {
+    if (!sealer_) return 0;
+    std::scoped_lock lock(mu_);
+    std::size_t evicted = 0;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      ++verifications_;
+      if (sealer_(*it->value) != it->seal) {
+        map_.erase(it->key);
+        it = lru_.erase(it);
+        ++corruptions_;
+        ++evicted;
+      } else {
+        it->acquires_since_verify = 0;
+        ++it;
+      }
+    }
+    return evicted;
+  }
+
+  /// Seal re-check cadence on acquire: every `interval`-th hit of an entry
+  /// (1 = every acquire). 0 disables acquire-time verification (scrub()
+  /// still works).
+  void set_verify_interval(std::size_t interval) {
+    std::scoped_lock lock(mu_);
+    verify_interval_ = interval;
+  }
+
+  [[nodiscard]] std::size_t verify_interval() const {
+    std::scoped_lock lock(mu_);
+    return verify_interval_;
   }
 
   void set_capacity(std::size_t capacity) {
@@ -126,6 +208,16 @@ class PlanRegistry {
     return evictions_;
   }
 
+  [[nodiscard]] std::uint64_t corruptions() const {
+    std::scoped_lock lock(mu_);
+    return corruptions_;
+  }
+
+  [[nodiscard]] std::uint64_t verifications() const {
+    std::scoped_lock lock(mu_);
+    return verifications_;
+  }
+
   void clear() {
     std::scoped_lock lock(mu_);
     lru_.clear();
@@ -133,12 +225,35 @@ class PlanRegistry {
   }
 
  private:
-  using Entry = std::pair<Key, std::shared_ptr<const Value>>;
+  struct Entry {
+    Key key;
+    std::shared_ptr<const Value> value;
+    std::uint64_t seal = 0;
+    std::size_t acquires_since_verify = 0;
+  };
+  using EntryIter = typename std::list<Entry>::iterator;
+
+  /// Returns false (and evicts the entry) when its seal no longer matches.
+  /// Called under mu_; hashing under the lock is acceptable because
+  /// verification is off by default and campaigns use small plans.
+  bool verify_entry_locked(
+      typename std::unordered_map<Key, EntryIter, Hash>::iterator it) {
+    if (!sealer_ || verify_interval_ == 0) return true;
+    Entry& e = *it->second;
+    if (++e.acquires_since_verify < verify_interval_) return true;
+    e.acquires_since_verify = 0;
+    ++verifications_;
+    if (sealer_(*e.value) == e.seal) return true;
+    ++corruptions_;
+    lru_.erase(it->second);
+    map_.erase(it);
+    return false;
+  }
 
   void evict_locked() {
     if (capacity_ == 0) return;
     while (lru_.size() > capacity_) {
-      map_.erase(lru_.back().first);
+      map_.erase(lru_.back().key);
       lru_.pop_back();
       ++evictions_;
     }
@@ -146,11 +261,32 @@ class PlanRegistry {
 
   mutable std::mutex mu_;
   std::size_t capacity_;
+  Sealer sealer_;
+  std::size_t verify_interval_;
   std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map_;
+  std::unordered_map<Key, EntryIter, Hash> map_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t verifications_ = 0;
+  std::uint64_t corruptions_ = 0;
 };
+
+namespace detail {
+/// FTFFT_PLAN_VERIFY as latched at first registry construction (see
+/// common/env.hpp); separated so the template constructor below stays
+/// header-only without including env.hpp everywhere.
+std::size_t default_plan_verify_interval();
+}  // namespace detail
+
+template <typename Key, typename Value, typename Hash>
+PlanRegistry<Key, Value, Hash>::PlanRegistry(std::size_t capacity,
+                                             Sealer sealer,
+                                             std::size_t verify_interval)
+    : capacity_(capacity),
+      sealer_(std::move(sealer)),
+      verify_interval_(verify_interval == SIZE_MAX
+                           ? detail::default_plan_verify_interval()
+                           : verify_interval) {}
 
 }  // namespace ftfft

@@ -43,6 +43,9 @@ abft::Options make_abft_options(const PlanConfig& config) {
   }
   o.eta_override = config.eta_override;
   o.max_retries = config.max_retries;
+  if (config.max_correctable_errors > 0) {
+    o.max_correctable_errors = config.max_correctable_errors;
+  }
   o.injector = config.injector;
   return o;
 }

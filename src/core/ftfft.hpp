@@ -53,6 +53,10 @@ struct PlanConfig {
   double eta_override = 0.0;
   /// Re-execution budget per protection unit.
   int max_retries = 4;
+  /// Simultaneous-error budget per checksummed block: 0 inherits the
+  /// process default (`FTFFT_MAX_ERRORS`, normally 1 = dual-checksum
+  /// behavior); 2..4 enables the 2t-moment syndrome decoder.
+  int max_correctable_errors = 0;
   /// Optional fault injector for experiments.
   fault::Injector* injector = nullptr;
 };

@@ -34,6 +34,10 @@ enum class Phase : std::uint8_t {
   kRealPostPass,          ///< packed transform entering the real-transform
                           ///< split/unsplit post-pass (r2c finalize input /
                           ///< c2r prepare output)
+  kPlanState,             ///< cached plan metadata (twiddles, permutation
+                          ///< tables, checksum weights): unit = span index
+                          ///< in the plan's collect_state list, element =
+                          ///< cplx-sized offset within that span
 };
 
 /// What the fault does to the victim element.

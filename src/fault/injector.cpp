@@ -34,6 +34,12 @@ std::size_t Injector::apply(Phase phase, std::size_t unit, cplx* data,
   return applied;
 }
 
+bool Injector::pending(Phase phase) const noexcept {
+  for (const Entry& e : faults_)
+    if (e.armed && e.spec.phase == phase) return true;
+  return false;
+}
+
 std::size_t Injector::pending_count() const noexcept {
   std::size_t n = 0;
   for (const Entry& e : faults_)

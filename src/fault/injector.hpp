@@ -36,6 +36,11 @@ class Injector {
   /// Number of scheduled faults that have not fired yet.
   [[nodiscard]] std::size_t pending_count() const noexcept;
 
+  /// True when at least one armed fault targets `phase`. Orchestrators use
+  /// this to skip hook plumbing that only exists for injection (e.g. the
+  /// Phase::kPlanState cache corruption) on fault-free runs.
+  [[nodiscard]] bool pending(Phase phase) const noexcept;
+
   /// Removes all scheduled faults and resets counters.
   void clear();
 

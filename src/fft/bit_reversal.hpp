@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/complex.hpp"
+#include "common/seal.hpp"
 
 namespace ftfft::fft {
 
@@ -83,6 +84,13 @@ class CobraBitReversal {
   /// saves one full read+write sweep of the array.
   void run_copy(cplx* dst, const cplx* src, Opener opener,
                 bool inverse) const;
+
+  /// Appends the cached permutation tables to `out` (plan-state sealing;
+  /// see common/seal.hpp).
+  void collect_state(StateSpans& out) const {
+    out.add_vec(rev_tile_);
+    out.add_vec(mid_pairs_);
+  }
 
   [[nodiscard]] unsigned tile_bits() const noexcept { return b_; }
   [[nodiscard]] unsigned middle_bits() const noexcept { return mid_; }

@@ -560,19 +560,28 @@ std::size_t InplaceRadix2Plan::tail_radix4_stages() const noexcept {
 
 namespace {
 
+std::uint64_t seal_inplace_plan(const InplaceRadix2Plan& plan) {
+  StateSpans spans;
+  plan.collect_state(spans);
+  return seal_spans(spans);
+}
+
 PlanRegistry<std::size_t, InplaceRadix2Plan>& inplace_registry() {
   // LRU-bounded by FTFFT_PLAN_CACHE_CAP, like every other plan cache.
   static PlanRegistry<std::size_t, InplaceRadix2Plan> registry(
-      plan_cache_capacity());
+      plan_cache_capacity(), seal_inplace_plan);
   return registry;
 }
 
-// Enroll in plan_cache_stats() before main. The lambda is lazy on purpose:
-// the registry (and its FTFFT_PLAN_CACHE_CAP read) is only materialized at
-// first use or first stats call, never during static initialization.
+// Enroll in plan_cache_stats() / scrub_plan_caches() before main. The
+// lambdas are lazy on purpose: the registry (and its FTFFT_PLAN_CACHE_CAP /
+// FTFFT_PLAN_VERIFY reads) is only materialized at first use or first stats
+// call, never during static initialization.
 const bool inplace_registry_registered =
-    (ftfft::detail::register_plan_cache(
-         [] { return inplace_registry().snapshot("inplace-plan"); }),
+    (ftfft::detail::register_plan_cache(ftfft::detail::PlanCacheHooks{
+         [] { return inplace_registry().snapshot("inplace-plan"); },
+         [] { return inplace_registry().scrub(); },
+         [](std::size_t k) { inplace_registry().set_verify_interval(k); }}),
      true);
 
 }  // namespace

@@ -196,6 +196,20 @@ class InplaceRadix2Plan {
   /// Shared, cached plan for the given size (default tuning). Thread-safe.
   static std::shared_ptr<const InplaceRadix2Plan> get(std::size_t n);
 
+  /// Appends every cached immutable payload — permutation tables, twiddle
+  /// packs, stage schedules, COBRA tile metadata — to `out`. The span list
+  /// is the unit of plan-state sealing (common/seal.hpp) and of
+  /// Phase::kPlanState fault addressing: a flipped bit in any span changes
+  /// the registry seal and evicts the entry at the next verified acquire.
+  void collect_state(StateSpans& out) const {
+    out.add_vec(bit_reverse_);
+    out.add_vec(twiddle_half_);
+    out.add_vec(stages_);
+    out.add_vec(stage_twiddles_);
+    out.add_vec(tail_);
+    if (cobra_) cobra_->collect_state(out);
+  }
+
  private:
   void run_radix2(cplx* data, bool inverse) const;
   void run_radix4_reference(cplx* data, bool inverse) const;

@@ -95,19 +95,37 @@ std::shared_ptr<const PlanNode> build_plan(std::size_t n) {
 
 }  // namespace
 
+void collect_plan_state(const PlanNode& node, StateSpans& out) {
+  out.add_vec(node.twiddles);
+  out.add_vec(node.chirp);
+  out.add_vec(node.chirp_fft);
+  if (node.sub) collect_plan_state(*node.sub, out);
+  if (node.conv_plan) collect_plan_state(*node.conv_plan, out);
+}
+
 namespace {
 
+std::uint64_t seal_plan_node(const PlanNode& root) {
+  StateSpans spans;
+  collect_plan_state(root, spans);
+  return seal_spans(spans);
+}
+
 PlanRegistry<std::size_t, PlanNode>& plan_registry() {
-  static PlanRegistry<std::size_t, PlanNode> registry(plan_cache_capacity());
+  static PlanRegistry<std::size_t, PlanNode> registry(plan_cache_capacity(),
+                                                      seal_plan_node);
   return registry;
 }
 
-// Enroll in plan_cache_stats() before main. The lambda is lazy on purpose:
-// the registry (and its FTFFT_PLAN_CACHE_CAP read) is only materialized at
-// first use or first stats call, never during static initialization.
+// Enroll in plan_cache_stats() / scrub_plan_caches() before main. The
+// lambdas are lazy on purpose: the registry (and its FTFFT_PLAN_CACHE_CAP /
+// FTFFT_PLAN_VERIFY reads) is only materialized at first use or first stats
+// call, never during static initialization.
 const bool plan_registry_registered =
-    (ftfft::detail::register_plan_cache(
-         [] { return plan_registry().snapshot("fft-plan"); }),
+    (ftfft::detail::register_plan_cache(ftfft::detail::PlanCacheHooks{
+         [] { return plan_registry().snapshot("fft-plan"); },
+         [] { return plan_registry().scrub(); },
+         [](std::size_t k) { plan_registry().set_verify_interval(k); }}),
      true);
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/complex.hpp"
+#include "common/seal.hpp"
 
 namespace ftfft::fft {
 
@@ -50,6 +51,11 @@ struct PlanNode {
   /// contract.
   std::size_t scratch_need = 0;
 };
+
+/// Appends every twiddle/chirp table in the subtree rooted at `node` to
+/// `out` (recursing through sub and conv_plan). This is the span set sealed
+/// by the fft-plan registry: flipping any cached table bit changes the seal.
+void collect_plan_state(const PlanNode& node, StateSpans& out);
 
 /// Builds (or fetches from the process-wide cache) the plan for an n-point
 /// DFT. Thread-safe. n must be >= 1.

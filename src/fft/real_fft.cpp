@@ -14,15 +14,23 @@ namespace {
 
 std::atomic<std::uint64_t> g_build_count{0};
 
+std::uint64_t seal_real_plan(const RealFftPlan& plan) {
+  StateSpans spans;
+  plan.collect_state(spans);
+  return seal_spans(spans);
+}
+
 PlanRegistry<std::size_t, RealFftPlan>& real_plan_registry() {
   static PlanRegistry<std::size_t, RealFftPlan> registry(
-      plan_cache_capacity());
+      plan_cache_capacity(), seal_real_plan);
   return registry;
 }
 
 const bool real_plan_registry_registered =
-    (ftfft::detail::register_plan_cache(
-         [] { return real_plan_registry().snapshot("real-plan"); }),
+    (ftfft::detail::register_plan_cache(ftfft::detail::PlanCacheHooks{
+         [] { return real_plan_registry().snapshot("real-plan"); },
+         [] { return real_plan_registry().scrub(); },
+         [](std::size_t k) { real_plan_registry().set_verify_interval(k); }}),
      true);
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/complex.hpp"
+#include "common/seal.hpp"
 #include "fft/inplace_radix2.hpp"
 
 namespace ftfft::fft {
@@ -65,6 +66,15 @@ class RealFftPlan {
   [[nodiscard]] const std::shared_ptr<const InplaceRadix2Plan>& complex_plan()
       const noexcept {
     return cplan_;
+  }
+
+  /// Appends the quarter twiddle table and (transitively) the underlying
+  /// complex plan's cached state to `out` — the real-plan registry seal
+  /// therefore also covers the nc-point InplaceRadix2Plan this plan holds,
+  /// even when that plan is no longer resident in its own cache.
+  void collect_state(StateSpans& out) const {
+    out.add_vec(wq_);
+    if (cplan_) cplan_->collect_state(out);
   }
 
   /// Shared, cached plan for the given size. Thread-safe.

@@ -83,6 +83,8 @@ class RankRun {
     t.overlap = opts_.overlap;
     t.eta = block_eta();
     t.max_retries = opts_.max_retries;
+    t.max_errors = plan_.max_errors();
+    t.syndrome_nodes = plan_.syndrome_nodes_block();
     t.phase = 1;
     if (opts_.protect) {
       t.on_block = [this](std::size_t src, cplx* block, std::size_t len) {
@@ -162,6 +164,8 @@ class RankRun {
     t.overlap = opts_.overlap;
     t.eta = block_eta();
     t.max_retries = opts_.max_retries;
+    t.max_errors = plan_.max_errors();
+    t.syndrome_nodes = plan_.syndrome_nodes_block();
     t.phase = 2;
     std::vector<cplx> tmp(bsz_);
     t.on_block = [this, &tmp](std::size_t src, cplx* block, std::size_t len) {
@@ -205,6 +209,8 @@ class RankRun {
     t.overlap = opts_.overlap;
     t.eta = block_eta();
     t.max_retries = opts_.max_retries;
+    t.max_errors = plan_.max_errors();
+    t.syndrome_nodes = plan_.syndrome_nodes_block();
     t.phase = 3;
     block_transpose(ctx_, local_.data(), bsz_, t, comm_, kTagT3);
   }
@@ -297,7 +303,8 @@ std::vector<cplx> parallel_fft(
   // One cached plan per call, shared read-only by every rank thread — the
   // rA vector, FFT2 protection state and sub-FFT plan trees stop being
   // rebuilt per rank per call.
-  const auto plan = ParallelPlan::get(p, n, opts.protect);
+  const auto plan =
+      ParallelPlan::get(p, n, opts.protect, opts.max_correctable_errors);
 
   SimComm comm(p, opts.net, opts.seed);
   if (arm) {
@@ -314,6 +321,7 @@ std::vector<cplx> parallel_fft(
     agg.stats.comp_errors_detected += outcome.stats.comp_errors_detected;
     agg.stats.mem_errors_detected += outcome.stats.mem_errors_detected;
     agg.stats.mem_errors_corrected += outcome.stats.mem_errors_corrected;
+    agg.stats.multi_errors_corrected += outcome.stats.multi_errors_corrected;
     agg.stats.sub_fft_retries += outcome.stats.sub_fft_retries;
     agg.stats.full_restarts += outcome.stats.full_restarts;
     agg.stats.dmr_mismatches += outcome.stats.dmr_mismatches;

@@ -57,6 +57,16 @@ struct ParallelOptions {
   /// offer (it propagates RankFailedError).
   int max_rank_restarts = 0;
 
+  /// Maximum simultaneously corrupted elements per transposed block the
+  /// message checksums can correct (PR 9; abft::Options has the same knob
+  /// for the sequential schemes). 1 = today's dual-checksum payload
+  /// bit-for-bit; t > 1 ships 2t syndrome moments per block instead and
+  /// decodes bursts through checksum::repair_errors. Clamped to
+  /// [1, checksum::kMaxCorrectableErrors] at plan resolution. Default from
+  /// FTFFT_MAX_ERRORS.
+  int max_correctable_errors =
+      static_cast<int>(env_long("FTFFT_MAX_ERRORS", 1));
+
   static ParallelOptions fftw() { return {false, false, false, 0, 4, {}, 0x5EED}; }
   static ParallelOptions ft_fftw() { return {true, false, true, 0, 4, {}, 0x5EED}; }
   static ParallelOptions opt_fftw() { return {false, true, false, 0, 4, {}, 0x5EED}; }

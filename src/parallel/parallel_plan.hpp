@@ -35,12 +35,17 @@ class ParallelPlan {
   /// Direct (uncached) build; throws std::invalid_argument for bad geometry
   /// (p < 2, 3 | p, p^2 does not divide n) and propagates
   /// abft::inplace_shape's rejection of unsupported n_loc when protected.
-  /// Prefer get().
-  ParallelPlan(std::size_t p, std::size_t n, bool protect);
+  /// Prefer get(). max_errors (clamped to
+  /// [1, checksum::kMaxCorrectableErrors]) > 1 additionally caches the
+  /// syndrome node table for the bsz-element transpose blocks and resolves
+  /// the FFT2 protection plan with the same multi-error budget.
+  ParallelPlan(std::size_t p, std::size_t n, bool protect, int max_errors = 1);
 
-  /// Cached resolution keyed on (p, n, protect). Thread-safe.
+  /// Cached resolution keyed on (p, n, protect, clamped max_errors).
+  /// Thread-safe.
   static std::shared_ptr<const ParallelPlan> get(std::size_t p, std::size_t n,
-                                                 bool protect);
+                                                 bool protect,
+                                                 int max_errors = 1);
 
   [[nodiscard]] std::size_t p() const noexcept { return p_; }
   [[nodiscard]] std::size_t n() const noexcept { return n_; }
@@ -72,6 +77,24 @@ class ParallelPlan {
     return eta_block_coeff_;
   }
 
+  /// Clamped multi-error budget the plan was resolved with (1 = single).
+  [[nodiscard]] int max_errors() const noexcept { return max_errors_; }
+  /// Duplicated normalized node table for one bsz-element transpose block
+  /// (checksum::shared_syndrome_nodes(bsz)); nullptr unless protected with
+  /// max_errors() > 1.
+  [[nodiscard]] const double* syndrome_nodes_block() const noexcept {
+    return sn_block_ ? sn_block_->data() : nullptr;
+  }
+
+  /// Appends the rA vector, the block syndrome node table and
+  /// (transitively) the FFT2 ProtectionPlan's cached payloads to `out`
+  /// (plan-state sealing; see common/seal.hpp).
+  void collect_state(StateSpans& out) const {
+    if (cp_) out.add_vec(*cp_);
+    if (sn_block_) out.add_vec(*sn_block_);
+    if (fft2_) fft2_->collect_state(out);
+  }
+
   // ---- cache introspection (tests, benches, monitoring) ----
 
   /// Plans constructed process-wide (cache misses + direct builds).
@@ -82,7 +105,9 @@ class ParallelPlan {
  private:
   std::size_t p_, n_, n_loc_, bsz_;
   bool protect_;
+  int max_errors_ = 1;
   std::shared_ptr<const std::vector<cplx>> cp_;
+  std::shared_ptr<const std::vector<double>> sn_block_;
   std::shared_ptr<const abft::ProtectionPlan> fft2_;
   double eta_fft1_coeff_ = 0.0;
   double eta_block_coeff_ = 0.0;
@@ -94,8 +119,11 @@ class ParallelPlan {
 /// the first submit_parallel / parallel_fft call afterwards performs zero
 /// rA generations and no plan builds. Returns the plan handle (keeping it
 /// alive pins the entry against LRU eviction).
+/// max_correctable_errors: 0 = the FTFFT_MAX_ERRORS process default, i.e.
+/// the budget a default-constructed ParallelOptions submit resolves.
 std::shared_ptr<const ParallelPlan> warm_plans(std::size_t p, std::size_t n,
-                                               bool protect = true);
+                                               bool protect = true,
+                                               int max_correctable_errors = 0);
 
 namespace detail {
 

@@ -36,6 +36,7 @@
 #include "abft/inplace.hpp"
 #include "checksum/dot.hpp"
 #include "checksum/memory_checksum.hpp"
+#include "checksum/multi_error.hpp"
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 #include "common/timer.hpp"
@@ -193,6 +194,7 @@ void accumulate(abft::Stats& dst, const abft::Stats& s) {
   dst.comp_errors_detected += s.comp_errors_detected;
   dst.mem_errors_detected += s.mem_errors_detected;
   dst.mem_errors_corrected += s.mem_errors_corrected;
+  dst.multi_errors_corrected += s.multi_errors_corrected;
   dst.sub_fft_retries += s.sub_fft_retries;
   dst.full_restarts += s.full_restarts;
   dst.dmr_mismatches += s.dmr_mismatches;
@@ -214,6 +216,26 @@ void verify_block(cplx* block, std::size_t len, const DualSum& stored,
         "block transpose: received block failed verification beyond repair");
   }
   ++stats.comm_errors_corrected;
+}
+
+// Multi-error variant (plan max_errors > 1), mirroring the reference path.
+void verify_block_multi(cplx* block, std::size_t len,
+                        const checksum::SyndromeSet& stored, double eta,
+                        int max_errors, const double* nodes,
+                        TransposeStats& stats) {
+  const auto rep = checksum::repair_errors(stored, block, 1, nullptr, len,
+                                           eta, max_errors, /*max_iters=*/6,
+                                           nodes);
+  if (!rep.mismatch) return;
+  ++stats.comm_errors_detected;
+  if (!rep.corrected) {
+    throw UncorrectableError(
+        "block transpose: received block failed verification beyond repair");
+  }
+  ++stats.comm_errors_corrected;
+  if (rep.errors >= 2) {
+    stats.comm_multi_corrected += static_cast<std::size_t>(rep.errors);
+  }
 }
 
 /// Receiver-side block threshold, from this rank's pre-transpose slice —
@@ -254,6 +276,23 @@ void pull_block(ShardedState& st, std::size_t r, std::size_t q,
     if (net.corrupt_every != 0 && nth_message() % net.corrupt_every == 0) {
       corrupt_in_flight(dst);  // silent: nothing verifies this variant
     }
+    return;
+  }
+  const int t_max = st.plan->max_errors();
+  if (t_max > 1) {
+    // Multi-error trailer: the "message" carries 2t syndrome moments,
+    // generated over the copied block before the in-flight fault window —
+    // the exact sender-side timing of the reference pack pass.
+    std::memcpy(dst, src, bsz * sizeof(cplx));
+    const auto stored = checksum::syndrome_sum(
+        nullptr, dst, bsz, 1, 2 * t_max, st.plan->syndrome_nodes_block());
+    ++tstats.messages_received;
+    if (net.corrupt_every != 0 && nth_message() % net.corrupt_every == 0) {
+      corrupt_in_flight(dst);
+    }
+    st.injectors[r].apply(fault::Phase::kCommBlock, q, dst, bsz);
+    verify_block_multi(dst, bsz, stored, eta, t_max,
+                       st.plan->syndrome_nodes_block(), tstats);
     return;
   }
   const DualSum stored = checksum::copy_dual_sum(dst, src, bsz);
@@ -636,7 +675,8 @@ ParallelFuture submit_parallel(
   st->n_loc = n / p;
   st->bsz = n / p / p;
   st->opts = opts;
-  st->plan = ParallelPlan::get(p, n, opts.protect);  // throws on bad n_loc
+  st->plan = ParallelPlan::get(p, n, opts.protect,
+                               opts.max_correctable_errors);  // throws on bad n_loc
   st->eng = engine != nullptr ? engine : &engine::BatchEngine::shared();
   st->in = std::move(input);
   st->out_is_input = opts.net.fail_rank == NetworkModel::kNoRank ||

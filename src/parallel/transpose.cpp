@@ -6,6 +6,7 @@
 
 #include "checksum/dot.hpp"
 #include "checksum/memory_checksum.hpp"
+#include "checksum/multi_error.hpp"
 #include "common/error.hpp"
 
 namespace ftfft::parallel {
@@ -29,6 +30,28 @@ bool verify_block(cplx* block, std::size_t len, const DualSum& stored,
   return true;
 }
 
+// Multi-error variant (max_errors > 1): the trailer carries 2t syndrome
+// moments and the decoder corrects up to t simultaneous corruptions.
+bool verify_block_multi(cplx* block, std::size_t len,
+                        const checksum::SyndromeSet& stored, double eta,
+                        int max_errors, const double* nodes,
+                        TransposeStats& stats) {
+  const auto rep = checksum::repair_errors(stored, block, 1, nullptr, len,
+                                           eta, max_errors, /*max_iters=*/6,
+                                           nodes);
+  if (!rep.mismatch) return false;
+  ++stats.comm_errors_detected;
+  if (!rep.corrected) {
+    throw UncorrectableError(
+        "block transpose: received block failed verification beyond repair");
+  }
+  ++stats.comm_errors_corrected;
+  if (rep.errors >= 2) {
+    stats.comm_multi_corrected += static_cast<std::size_t>(rep.errors);
+  }
+  return true;
+}
+
 }  // namespace
 
 void block_transpose(RankCtx& ctx, cplx* local, std::size_t block_len,
@@ -38,7 +61,12 @@ void block_transpose(RankCtx& ctx, cplx* local, std::size_t block_len,
   const std::size_t r = ctx.rank();
   const NetworkModel& net = ctx.net();
   RankClock& clock = ctx.clock();
-  const std::size_t payload_len = block_len + (opts.checksums ? 2 : 0);
+  // Trailer: 2 dual-checksum values (the paper's ~2p/n overhead), or 2t
+  // syndrome moments under a multi-error budget (~2tp/n).
+  const int t_max =
+      opts.checksums ? checksum::clamp_max_errors(opts.max_errors) : 1;
+  const std::size_t trailer = opts.checksums ? (t_max > 1 ? 2 * t_max : 2) : 0;
+  const std::size_t payload_len = block_len + trailer;
   const double msg_cost = net.cost(payload_len * sizeof(cplx));
 
   // Modeled node loss: the configured rank dies as it enters the configured
@@ -84,10 +112,19 @@ void block_transpose(RankCtx& ctx, cplx* local, std::size_t block_len,
     std::memcpy(payload.data(), local + peer * block_len,
                 block_len * sizeof(cplx));
     if (opts.checksums) {
-      const DualSum d =
-          checksum::dual_weighted_sum(nullptr, payload.data(), block_len);
-      payload[block_len] = d.plain;
-      payload[block_len + 1] = d.indexed;
+      if (t_max > 1) {
+        const auto syn = checksum::syndrome_sum(nullptr, payload.data(),
+                                                block_len, 1, 2 * t_max,
+                                                opts.syndrome_nodes);
+        for (int mo = 0; mo < 2 * t_max; ++mo) {
+          payload[block_len + static_cast<std::size_t>(mo)] = syn.s[mo];
+        }
+      } else {
+        const DualSum d =
+            checksum::dual_weighted_sum(nullptr, payload.data(), block_len);
+        payload[block_len] = d.plain;
+        payload[block_len + 1] = d.indexed;
+      }
     }
     const double t_pack = clock.end_compute();
     stats.bytes_sent += payload_len * sizeof(cplx);
@@ -114,8 +151,20 @@ void block_transpose(RankCtx& ctx, cplx* local, std::size_t block_len,
       // In-flight corruption hits the payload between sender checksum
       // generation and receiver verification.
       ctx.injector().apply(fault::Phase::kCommBlock, peer, dst, block_len);
-      const DualSum stored{msg.payload[block_len], msg.payload[block_len + 1]};
-      verify_block(dst, block_len, stored, opts.eta, opts.max_retries, stats);
+      if (t_max > 1) {
+        checksum::SyndromeSet stored;
+        stored.moments = 2 * t_max;
+        for (int mo = 0; mo < 2 * t_max; ++mo) {
+          stored.s[mo] = msg.payload[block_len + static_cast<std::size_t>(mo)];
+        }
+        verify_block_multi(dst, block_len, stored, opts.eta, t_max,
+                           opts.syndrome_nodes, stats);
+      } else {
+        const DualSum stored{msg.payload[block_len],
+                             msg.payload[block_len + 1]};
+        verify_block(dst, block_len, stored, opts.eta, opts.max_retries,
+                     stats);
+      }
     }
     if (opts.on_block) opts.on_block(peer, dst, block_len);
     const double t_proc = clock.end_compute();

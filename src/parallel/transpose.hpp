@@ -28,6 +28,16 @@ struct TransposeOptions {
   bool overlap = false;   ///< Algorithm 3 pipelined timing
   double eta = 1e-9;      ///< verification threshold for one block
   int max_retries = 4;
+  /// Per-block correction capacity (PR 9). 1 = the classic two-value dual
+  /// checksum trailer, bit-for-bit. t > 1 ships 2t syndrome moments per
+  /// block instead (payload overhead 2t complex values) and the receiver
+  /// decodes up to t simultaneous corruptions via checksum::repair_errors.
+  int max_errors = 1;
+  /// Plan-cached duplicated node table for block_len
+  /// (checksum::shared_syndrome_nodes / ParallelPlan::syndrome_nodes_block)
+  /// enabling the SIMD syndrome kernels; nullptr falls back to the scalar
+  /// on-the-fly nodes (identical values). Only read when max_errors > 1.
+  const double* syndrome_nodes = nullptr;
   /// Six-step phase index (1..3 for the three transposes); the modeled
   /// fault knobs (NetworkModel::fail_rank/fail_phase) key off it. 0 = not
   /// part of a phased run, rank-failure knob never fires.
@@ -45,6 +55,10 @@ struct TransposeOptions {
 struct TransposeStats {
   std::size_t comm_errors_detected = 0;
   std::size_t comm_errors_corrected = 0;
+  /// Corrections recovered by a multi-error decode fixing >= 2 elements of
+  /// one block (counts elements, so a 2-burst adds 2). Subset-adjacent to
+  /// comm_errors_corrected, which keeps counting blocks repaired.
+  std::size_t comm_multi_corrected = 0;
   std::size_t bytes_sent = 0;
   /// Blocks received over the (simulated) link, resident block excluded.
   /// Also the counter the NetworkModel::corrupt_every campaign knob ticks
@@ -55,6 +69,7 @@ struct TransposeStats {
   TransposeStats& operator+=(const TransposeStats& o) {
     comm_errors_detected += o.comm_errors_detected;
     comm_errors_corrected += o.comm_errors_corrected;
+    comm_multi_corrected += o.comm_multi_corrected;
     bytes_sent += o.bytes_sent;
     messages_received += o.messages_received;
     return *this;

@@ -45,6 +45,12 @@ struct ChecksumKernels {
   /// communication).
   checksum::DualSum (*copy_dual_sum)(cplx* dst, const cplx* src,
                                      std::size_t n);
+  /// out[m] = sum_j u_j^m * w_j * x_j for m in [0, moments), the 2t moment
+  /// sums of the multi-error syndromes (checksum/multi_error.hpp). nodes2 is
+  /// the duplicated node table from shared_syndrome_nodes(n); w == nullptr
+  /// means all-ones. moments <= 8.
+  void (*syndrome_dot)(const cplx* w, const cplx* x, const double* nodes2,
+                       std::size_t n, int moments, cplx* out);
 };
 
 /// FFT butterfly/combine kernels.

@@ -226,6 +226,7 @@ constexpr ChecksumKernels kAvx2Checksum = {
     impl::k_dual_weighted_sum_energy<V>,
     impl::k_omega3_weighted_sum<V>,
     impl::k_copy_dual_sum<V>,
+    impl::k_syndrome_dot<V>,
 };
 
 }  // namespace

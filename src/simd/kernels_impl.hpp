@@ -97,6 +97,44 @@ checksum::DualSum k_dual_weighted_sum(const cplx* w, const cplx* x,
   return out;
 }
 
+/// Moment-sum reduction for the multi-error syndromes (see checksum/
+/// multi_error.hpp): out[m] = sum_j u_j^m * w_j * x_j for m in [0, moments),
+/// u_j read from the duplicated node table nodes2 (slots 2j and 2j+1 both
+/// hold u_j, so one raw vector load scales the re/im slots of element j
+/// elementwise). w == nullptr means all-ones weights. moments <= 8; one
+/// accumulator per moment — the moment loop itself provides the
+/// instruction-level parallelism a single reduction chain would lack.
+template <class V>
+void k_syndrome_dot(const cplx* w, const cplx* x, const double* nodes2,
+                    std::size_t n, int moments, cplx* out) {
+  constexpr std::size_t W = V::width;
+  V acc[8];
+  for (int m = 0; m < moments; ++m) acc[m] = V::zero();
+  std::size_t j = 0;
+  for (; j + W <= n; j += W) {
+    V q =
+        (w == nullptr) ? V::load(x + j) : V::load(w + j).cmul(V::load(x + j));
+    acc[0] = acc[0] + q;
+    const V u = V::load_raw(nodes2 + 2 * j);
+    for (int m = 1; m < moments; ++m) {
+      q = q.fmadd_elem(u, V::zero());
+      acc[m] = acc[m] + q;
+    }
+  }
+  cplx sums[8];
+  for (int m = 0; m < moments; ++m) sums[m] = acc[m].hsum();
+  for (; j < n; ++j) {
+    cplx q = (w == nullptr) ? x[j] : ftfft::cmul(w[j], x[j]);
+    const double u = nodes2[2 * j];
+    sums[0] += q;
+    for (int m = 1; m < moments; ++m) {
+      q *= u;
+      sums[m] += q;
+    }
+  }
+  for (int m = 0; m < moments; ++m) out[m] = sums[m];
+}
+
 /// dst = src with the all-ones dual checksum accumulated on the same pass.
 /// Mirrors k_dual_weighted_sum's w == nullptr branch exactly (same
 /// accumulator registers, same lane order), with a store added per load, so

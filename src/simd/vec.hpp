@@ -43,6 +43,10 @@ struct ScalarVec {
   cplx v;
 
   static ScalarVec load(const cplx* p) noexcept { return {*p}; }
+  /// Loads 2*width raw doubles (e.g. the duplicated syndrome node table).
+  static ScalarVec load_raw(const double* p) noexcept {
+    return {cplx{p[0], p[1]}};
+  }
   /// Loads `width` elements p[0], p[stride], ...
   static ScalarVec gather(const cplx* p, std::size_t) noexcept { return {*p}; }
   void store(cplx* p) const noexcept { *p = v; }
@@ -124,6 +128,9 @@ struct Avx2Vec {
 
   static Avx2Vec load(const cplx* p) noexcept {
     return {_mm256_loadu_pd(reinterpret_cast<const double*>(p))};
+  }
+  static Avx2Vec load_raw(const double* p) noexcept {
+    return {_mm256_loadu_pd(p)};
   }
   static Avx2Vec gather(const cplx* p, std::size_t stride) noexcept {
     const __m128d lo = _mm_loadu_pd(reinterpret_cast<const double*>(p));
@@ -230,6 +237,7 @@ struct NeonVec {
   static NeonVec load(const cplx* p) noexcept {
     return {vld1q_f64(reinterpret_cast<const double*>(p))};
   }
+  static NeonVec load_raw(const double* p) noexcept { return {vld1q_f64(p)}; }
   static NeonVec gather(const cplx* p, std::size_t) noexcept {
     return load(p);
   }

@@ -1,0 +1,515 @@
+// Multi-error localization and correction (PR 9): the 2t-moment syndrome
+// decoder of checksum/multi_error.hpp, its escalation wiring inside the
+// sequential ABFT schemes and the parallel transpose, and the invariants the
+// single-error baseline keeps (bit-for-bit behavior at t = 1, graceful
+// degradation beyond the budget).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "abft/inplace.hpp"
+#include "abft/offline.hpp"
+#include "abft/online.hpp"
+#include "abft/options.hpp"
+#include "checksum/dot.hpp"
+#include "checksum/memory_checksum.hpp"
+#include "checksum/multi_error.hpp"
+#include "checksum/weights.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fault/injector.hpp"
+#include "fft/fft.hpp"
+#include "parallel/parallel_fft.hpp"
+#include "simd/dispatch.hpp"
+
+namespace ftfft {
+namespace {
+
+using abft::Options;
+using abft::Stats;
+using checksum::DualSum;
+using checksum::SyndromeSet;
+using fault::FaultSpec;
+using fault::Phase;
+using simd::Backend;
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> out{Backend::kScalar};
+  if (simd::backend_available(Backend::kAvx2)) out.push_back(Backend::kAvx2);
+  if (simd::backend_available(Backend::kNeon)) out.push_back(Backend::kNeon);
+  return out;
+}
+
+struct BackendGuard {
+  Backend prev = simd::active_backend();
+  ~BackendGuard() { simd::set_backend(prev); }
+};
+
+// ------------------------------------------------------------ decoder unit
+
+TEST(MultiError, ClampRange) {
+  EXPECT_EQ(checksum::clamp_max_errors(-3), 1);
+  EXPECT_EQ(checksum::clamp_max_errors(0), 1);
+  EXPECT_EQ(checksum::clamp_max_errors(1), 1);
+  EXPECT_EQ(checksum::clamp_max_errors(4), 4);
+  EXPECT_EQ(checksum::clamp_max_errors(99), checksum::kMaxCorrectableErrors);
+}
+
+TEST(MultiError, CleanDataReportsNoMismatch) {
+  const std::size_t n = 96;
+  auto x = random_vector(n, InputDistribution::kNormal, 901);
+  const auto s = checksum::syndrome_sum(nullptr, x.data(), n, 1, 4);
+  auto rep = checksum::repair_errors(s, x.data(), 1, nullptr, n, 1e-9, 2);
+  EXPECT_FALSE(rep.mismatch);
+  EXPECT_FALSE(rep.corrected);
+  EXPECT_EQ(rep.errors, 0);
+}
+
+TEST(MultiError, SingleErrorDecodesThroughTheMultiPath) {
+  const std::size_t n = 128;
+  auto x = random_vector(n, InputDistribution::kUniform, 902);
+  const auto pristine = x;
+  const auto stored = checksum::syndrome_sum(nullptr, x.data(), n, 1, 4);
+  x[33] += cplx{2.5, -0.75};
+  const auto rep = checksum::repair_errors(stored, x.data(), 1, nullptr, n,
+                                           1e-9, /*max_errors=*/2);
+  ASSERT_TRUE(rep.mismatch);
+  ASSERT_TRUE(rep.corrected);
+  EXPECT_EQ(rep.errors, 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(std::abs(x[j] - pristine[j]), 0.0, 1e-9) << j;
+  }
+}
+
+// The pin the escalation is built on: the dual checksums *cannot* localize
+// two simultaneous corruptions. If this ever starts passing as corrected,
+// the single-error path has silently changed semantics.
+TEST(MultiError, DualChecksumRefusesTheDoubleError) {
+  const std::size_t n = 128;
+  auto x = random_vector(n, InputDistribution::kUniform, 903);
+  const DualSum stored = checksum::dual_weighted_sum(nullptr, x.data(), n);
+  x[17] += cplx{1.0, 0.7};
+  x[90] += cplx{-0.6, 2.0};
+  const auto rep =
+      checksum::repair_single_error(stored, x.data(), 1, nullptr, n, 1e-9);
+  EXPECT_TRUE(rep.mismatch);
+  EXPECT_FALSE(rep.corrected);
+}
+
+// ... and the syndrome decoder corrects the exact same plant at t = 2.
+TEST(MultiError, SyndromeDecoderCorrectsTheSameDoubleError) {
+  const std::size_t n = 128;
+  auto x = random_vector(n, InputDistribution::kUniform, 903);
+  const auto pristine = x;
+  const auto stored = checksum::syndrome_sum(nullptr, x.data(), n, 1, 4);
+  x[17] += cplx{1.0, 0.7};
+  x[90] += cplx{-0.6, 2.0};
+  const auto rep = checksum::repair_errors(stored, x.data(), 1, nullptr, n,
+                                           1e-9, /*max_errors=*/2);
+  ASSERT_TRUE(rep.mismatch);
+  ASSERT_TRUE(rep.corrected);
+  EXPECT_EQ(rep.errors, 2);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(std::abs(x[j] - pristine[j]), 0.0, 1e-9) << j;
+  }
+}
+
+TEST(MultiError, DecodesBurstsUpToFourErrors) {
+  const std::size_t n = 256;
+  for (int t = 2; t <= checksum::kMaxCorrectableErrors; ++t) {
+    auto x = random_vector(n, InputDistribution::kNormal, 910 + t);
+    const auto pristine = x;
+    const auto stored = checksum::syndrome_sum(nullptr, x.data(), n, 1, 2 * t);
+    Rng rng(920 + t);
+    // Adjacent-cluster plant (a spatial burst) plus one far outlier.
+    const std::size_t base = 40;
+    for (int e = 0; e < t - 1; ++e) {
+      x[base + static_cast<std::size_t>(e)] +=
+          cplx{rng.uniform(0.5, 8.0), rng.uniform(-8.0, -0.5)};
+    }
+    x[n - 3] += cplx{-4.0, 1.5};
+    const auto rep =
+        checksum::repair_errors(stored, x.data(), 1, nullptr, n, 1e-9, t);
+    ASSERT_TRUE(rep.mismatch) << "t=" << t;
+    ASSERT_TRUE(rep.corrected) << "t=" << t;
+    EXPECT_EQ(rep.errors, t) << "t=" << t;
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(std::abs(x[j] - pristine[j]), 0.0, 1e-8)
+          << "t=" << t << " j=" << j;
+    }
+  }
+}
+
+// t + 1 simultaneous errors: no e <= t hypothesis reproduces every stored
+// moment, so the decoder must report detected-but-uncorrected instead of
+// fabricating a wrong correction.
+TEST(MultiError, GracefulDegradationBeyondTheBudget) {
+  const std::size_t n = 128;
+  auto x = random_vector(n, InputDistribution::kUniform, 930);
+  const auto stored = checksum::syndrome_sum(nullptr, x.data(), n, 1, 4);
+  x[5] += cplx{1.5, 0.0};
+  x[60] += cplx{0.0, -2.5};
+  x[100] += cplx{3.0, 3.0};
+  const auto rep = checksum::repair_errors(stored, x.data(), 1, nullptr, n,
+                                           1e-9, /*max_errors=*/2);
+  EXPECT_TRUE(rep.mismatch);
+  EXPECT_FALSE(rep.corrected);
+}
+
+TEST(MultiError, WeightedRegionDecodes) {
+  const std::size_t n = 128;
+  auto x = random_vector(n, InputDistribution::kUniform, 940);
+  const auto pristine = x;
+  const auto ra = checksum::input_checksum_vector(
+      n, checksum::RaGenMethod::kClosedForm);
+  const auto stored = checksum::syndrome_sum(ra.data(), x.data(), n, 1, 4);
+  x[8] += cplx{0.9, -0.4};
+  x[77] += cplx{-1.1, 0.3};
+  const auto rep =
+      checksum::repair_errors(stored, x.data(), 1, ra.data(), n, 1e-9, 2);
+  ASSERT_TRUE(rep.corrected);
+  EXPECT_EQ(rep.errors, 2);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(std::abs(x[j] - pristine[j]), 0.0, 1e-9) << j;
+  }
+}
+
+TEST(MultiError, StridedRegionDecodes) {
+  const std::size_t n = 64, stride = 4;
+  auto flat = random_vector(n * stride, InputDistribution::kUniform, 950);
+  const auto pristine = flat;
+  const auto stored =
+      checksum::syndrome_sum(nullptr, flat.data(), n, stride, 4);
+  flat[9 * stride] += cplx{2.0, 1.0};
+  flat[40 * stride] += cplx{-1.0, 0.5};
+  const auto rep =
+      checksum::repair_errors(stored, flat.data(), stride, nullptr, n, 1e-9, 2);
+  ASSERT_TRUE(rep.corrected);
+  EXPECT_EQ(rep.errors, 2);
+  for (std::size_t j = 0; j < flat.size(); ++j) {
+    EXPECT_NEAR(std::abs(flat[j] - pristine[j]), 0.0, 1e-9) << j;
+  }
+}
+
+TEST(MultiError, IncrementalAccumulationMatchesBatchGeneration) {
+  const std::size_t n = 100;
+  auto x = random_vector(n, InputDistribution::kNormal, 960);
+  const auto batch = checksum::syndrome_sum(nullptr, x.data(), n, 1, 6);
+  SyndromeSet inc;
+  inc.moments = 6;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t j = 0; j < n; ++j) inc.accumulate(j, x[j], inv_n);
+  for (int m = 0; m < 6; ++m) {
+    EXPECT_NEAR(std::abs(inc.s[m] - batch.s[m]), 0.0,
+                1e-12 * static_cast<double>(n))
+        << "moment " << m;
+  }
+}
+
+// The plan-cached node table routes the reduction through the active SIMD
+// backend's syndrome_dot kernel; every backend must agree with the scalar
+// on-the-fly generation within reassociation round-off.
+TEST(MultiError, NodeTableKernelAgreesWithScalarOnEveryBackend) {
+  const std::size_t n = 1024;
+  auto x = random_vector(n, InputDistribution::kUniform, 970);
+  const auto nodes = checksum::shared_syndrome_nodes(n);
+  const auto scalar_ref = checksum::syndrome_sum(nullptr, x.data(), n, 1, 8);
+  BackendGuard guard;
+  for (Backend b : available_backends()) {
+    ASSERT_TRUE(simd::set_backend(b));
+    const auto got =
+        checksum::syndrome_sum(nullptr, x.data(), n, 1, 8, nodes->data());
+    for (int m = 0; m < 8; ++m) {
+      EXPECT_NEAR(std::abs(got.s[m] - scalar_ref.s[m]), 0.0, 1e-9)
+          << "backend=" << simd::backend_name(b) << " moment=" << m;
+    }
+  }
+}
+
+// ------------------------------------------------- scheme escalation (e2e)
+
+constexpr std::size_t kN = 1024;  // online: m = k = 32
+
+std::vector<cplx> truth(const std::vector<cplx>& x) { return fft::fft(x); }
+
+double max_dev(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  return inf_diff(a.data(), b.data(), a.size());
+}
+
+// Two memory faults in the offline scheme's single protected input region.
+TEST(MultiErrorScheme, OfflineDoubleInputFault) {
+  auto x = random_vector(kN, InputDistribution::kUniform, 1001);
+  const auto want = truth(x);
+
+  // At the default budget (t = 1) the dual checksums carry only two values,
+  // so a two-error burst is outside the fault model: the scheme either
+  // refuses (UncorrectableError) or — when the residual ratio of the burst
+  // happens to snap to an integer index — accepts a wrong one-element "fix"
+  // and delivers a corrupt spectrum. This pair of faults hits the second
+  // case; the assertion documents the vulnerability the t = 2 budget closes.
+  {
+    auto in = x;
+    fault::Injector inj;
+    inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 100,
+                                       {5.0, -5.0}));
+    inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 700,
+                                       {-3.0, 4.0}));
+    Options opts = Options::offline_opt(true);
+    opts.max_correctable_errors = 1;  // pin: the suite may run under
+                                      // FTFFT_MAX_ERRORS > 1
+    opts.injector = &inj;
+    std::vector<cplx> out(kN);
+    Stats stats;
+    bool threw = false;
+    try {
+      abft::offline_transform(in.data(), out.data(), kN, opts, stats);
+    } catch (const UncorrectableError&) {
+      threw = true;
+    }
+    if (!threw) {
+      EXPECT_GT(max_dev(out, want), 1e-6)
+          << "a double fault at t = 1 unexpectedly produced a clean "
+             "spectrum; the t = 2 leg below would then be vacuous";
+    }
+  }
+
+  // At t = 2 the syndrome decoder corrects both and the transform matches
+  // the clean spectrum.
+  {
+    auto in = x;
+    fault::Injector inj;
+    inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 100,
+                                       {5.0, -5.0}));
+    inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 700,
+                                       {-3.0, 4.0}));
+    Options opts = Options::offline_opt(true);
+    opts.max_correctable_errors = 2;
+    opts.injector = &inj;
+    std::vector<cplx> out(kN);
+    Stats stats;
+    abft::offline_transform(in.data(), out.data(), kN, opts, stats);
+    EXPECT_LT(max_dev(out, want), 1e-8);
+    EXPECT_EQ(inj.fired_count(), 2u);
+    EXPECT_EQ(stats.multi_errors_corrected, 2u);
+    EXPECT_GE(stats.mem_errors_corrected, 1u);
+  }
+}
+
+// Two faults in the SAME online CMCG slot (elements i and i + k share slot
+// i % k): the dual slot checksums cannot separate them, the syndromes can.
+TEST(MultiErrorScheme, OnlineDoubleFaultInOneSlot) {
+  auto x = random_vector(kN, InputDistribution::kNormal, 1002);
+  const auto want = truth(x);
+  const std::size_t k = 32;  // second-layer size for n = 1024
+
+  {
+    auto in = x;
+    fault::Injector inj;
+    inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 5,
+                                       {7.0, 1.0}));
+    inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 5 + k,
+                                       {-2.0, 6.0}));
+    Options opts = Options::online_opt(true);
+    opts.max_correctable_errors = 1;
+    opts.injector = &inj;
+    std::vector<cplx> out(kN);
+    Stats stats;
+    EXPECT_THROW(abft::online_transform(in.data(), out.data(), kN, opts, stats),
+                 UncorrectableError);
+  }
+
+  {
+    auto in = x;
+    fault::Injector inj;
+    inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 5,
+                                       {7.0, 1.0}));
+    inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 5 + k,
+                                       {-2.0, 6.0}));
+    Options opts = Options::online_opt(true);
+    opts.max_correctable_errors = 2;
+    opts.injector = &inj;
+    std::vector<cplx> out(kN);
+    Stats stats;
+    abft::online_transform(in.data(), out.data(), kN, opts, stats);
+    EXPECT_LT(max_dev(out, want), 1e-8);
+    EXPECT_EQ(stats.multi_errors_corrected, 2u);
+  }
+}
+
+// Same drill for the in-place k*r*k scheme: slot i of layer 1 reads
+// x[s * blk + i], so elements i and i + blk collide in one slot.
+TEST(MultiErrorScheme, InplaceDoubleFaultInOneSlot) {
+  auto x = random_vector(kN, InputDistribution::kUniform, 1003);
+  const auto want = truth(x);
+  const auto shape = abft::inplace_shape(kN);
+  const std::size_t blk = shape.r * shape.k;
+
+  {
+    auto data = x;
+    fault::Injector inj;
+    inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 3,
+                                       {4.0, -1.0}));
+    inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 3 + blk,
+                                       {1.0, 8.0}));
+    Options opts = Options::online_opt(true);
+    opts.max_correctable_errors = 1;
+    opts.injector = &inj;
+    Stats stats;
+    EXPECT_THROW(abft::inplace_online_transform(data.data(), kN, opts, stats),
+                 UncorrectableError);
+  }
+
+  {
+    auto data = x;
+    fault::Injector inj;
+    inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 3,
+                                       {4.0, -1.0}));
+    inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 3 + blk,
+                                       {1.0, 8.0}));
+    Options opts = Options::online_opt(true);
+    opts.max_correctable_errors = 2;
+    opts.injector = &inj;
+    Stats stats;
+    abft::inplace_online_transform(data.data(), kN, opts, stats);
+    EXPECT_LT(max_dev(data, want), 1e-8);
+    EXPECT_EQ(stats.multi_errors_corrected, 2u);
+  }
+}
+
+// Detection/correction counters must not depend on the SIMD backend or on
+// fused vs separate checksum execution (the acceptance bar for every new
+// protection feature in this repo).
+TEST(MultiErrorScheme, CountersIdenticalAcrossBackendsAndFusionModes) {
+  auto x = random_vector(kN, InputDistribution::kNormal, 1004);
+  const auto want = truth(x);
+  const std::size_t k = 32;
+
+  Stats first;
+  bool have_first = false;
+  BackendGuard guard;
+  for (Backend b : available_backends()) {
+    for (bool fused : {false, true}) {
+      ASSERT_TRUE(simd::set_backend(b));
+      auto in = x;
+      fault::Injector inj;
+      inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 11,
+                                         {3.0, 2.0}));
+      inj.schedule(FaultSpec::memory_set(Phase::kInputAfterChecksum, 0, 11 + k,
+                                         {-1.0, -4.0}));
+      Options opts = Options::online_opt(true);
+      opts.max_correctable_errors = 2;
+      opts.fused_checksums = fused;
+      opts.fused_ignore_profitability = fused;
+      opts.injector = &inj;
+      std::vector<cplx> out(kN);
+      Stats stats;
+      abft::online_transform(in.data(), out.data(), kN, opts, stats);
+      EXPECT_LT(max_dev(out, want), 1e-8)
+          << simd::backend_name(b) << " fused=" << fused;
+      if (!have_first) {
+        first = stats;
+        have_first = true;
+        continue;
+      }
+      EXPECT_EQ(stats.mem_errors_detected, first.mem_errors_detected)
+          << simd::backend_name(b) << " fused=" << fused;
+      EXPECT_EQ(stats.mem_errors_corrected, first.mem_errors_corrected)
+          << simd::backend_name(b) << " fused=" << fused;
+      EXPECT_EQ(stats.multi_errors_corrected, first.multi_errors_corrected)
+          << simd::backend_name(b) << " fused=" << fused;
+    }
+  }
+}
+
+// The default budget must stay bit-for-bit: a t = 1 run with no faults is
+// byte-identical to the pre-PR-9 dual-checksum path (same plan, same
+// arithmetic), so two runs at t = 1 and a run that never heard of the knob
+// agree exactly.
+TEST(MultiErrorScheme, DefaultBudgetIsBitForBit) {
+  auto x = random_vector(kN, InputDistribution::kUniform, 1005);
+  Options base = Options::online_opt(true);
+  base.max_correctable_errors = 1;
+  std::vector<cplx> out1(kN), out2(kN);
+  {
+    auto in = x;
+    Stats stats;
+    abft::online_transform(in.data(), out1.data(), kN, base, stats);
+  }
+  {
+    auto in = x;
+    Options again = Options::online_opt(true);  // knob untouched (env default)
+    Stats stats;
+    abft::online_transform(in.data(), out2.data(), kN, again, stats);
+  }
+  for (std::size_t j = 0; j < kN; ++j) {
+    EXPECT_EQ(out1[j].real(), out2[j].real()) << j;
+    EXPECT_EQ(out1[j].imag(), out2[j].imag()) << j;
+  }
+}
+
+// --------------------------------------------------- parallel transpose e2e
+
+TEST(MultiErrorParallel, DoubleCommFaultInOneBlock) {
+  const std::size_t p = 4, n = 1024;
+  auto x = random_vector(n, InputDistribution::kNormal, 1100);
+  const auto want = truth(x);
+  const auto arm = [](std::size_t rank, fault::Injector& inj) {
+    if (rank == 0) {
+      inj.schedule(
+          FaultSpec::computational(Phase::kCommBlock, 2, 9, {11.0, 3.0}));
+      inj.schedule(
+          FaultSpec::computational(Phase::kCommBlock, 2, 40, {-6.0, 5.0}));
+    }
+  };
+
+  {  // t = 1: the block fails verification beyond repair.
+    auto opts = parallel::ParallelOptions::opt_ft_fftw();
+    opts.max_correctable_errors = 1;
+    parallel::ParallelReport report;
+    EXPECT_THROW(parallel::parallel_fft(p, x, opts, &report, arm),
+                 UncorrectableError);
+  }
+
+  {  // t = 2: both elements decoded from the syndrome trailer.
+    auto opts = parallel::ParallelOptions::opt_ft_fftw();
+    opts.max_correctable_errors = 2;
+    parallel::ParallelReport report;
+    const auto got = parallel::parallel_fft(p, x, opts, &report, arm);
+    const double tol = 1e-9 * static_cast<double>(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_NEAR(got[j].real(), want[j].real(), tol) << j;
+      ASSERT_NEAR(got[j].imag(), want[j].imag(), tol) << j;
+    }
+    EXPECT_EQ(report.comm_stats.comm_errors_corrected, 1u);  // one block
+    EXPECT_EQ(report.comm_stats.comm_multi_corrected, 2u);   // two elements
+  }
+}
+
+TEST(MultiErrorParallel, ShardedPathMatches) {
+  const std::size_t p = 4, n = 1024;
+  auto x = random_vector(n, InputDistribution::kUniform, 1101);
+  const auto want = truth(x);
+  auto opts = parallel::ParallelOptions::opt_ft_fftw();
+  opts.max_correctable_errors = 2;
+  parallel::ParallelReport report;
+  const auto got = parallel::parallel_fft_sharded(
+      p, x, opts, &report, [](std::size_t rank, fault::Injector& inj) {
+        if (rank == 1) {
+          inj.schedule(
+              FaultSpec::computational(Phase::kCommBlock, 3, 2, {9.0, -2.0}));
+          inj.schedule(
+              FaultSpec::computational(Phase::kCommBlock, 3, 50, {1.0, 7.0}));
+        }
+      });
+  const double tol = 1e-9 * static_cast<double>(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    ASSERT_NEAR(got[j].real(), want[j].real(), tol) << j;
+    ASSERT_NEAR(got[j].imag(), want[j].imag(), tol) << j;
+  }
+  EXPECT_EQ(report.comm_stats.comm_errors_corrected, 1u);
+  EXPECT_EQ(report.comm_stats.comm_multi_corrected, 2u);
+}
+
+}  // namespace
+}  // namespace ftfft

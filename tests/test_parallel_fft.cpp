@@ -211,8 +211,12 @@ TEST(ParallelFft, OverlapNeverSlowerThanBlocking) {
 TEST(ParallelFft, ReportsCommunicationBytes) {
   const std::size_t p = 4, n = 1024;
   auto x = random_vector(n, InputDistribution::kUniform, 45);
+  ParallelOptions opts = ParallelOptions::opt_ft_fftw();
+  // Pin the budget: the dual-checksum trailer is 2 complex values at t = 1
+  // and 2t syndrome moments above (the wire format under test here).
+  opts.max_correctable_errors = 1;
   ParallelReport report;
-  parallel::parallel_fft(p, x, ParallelOptions::opt_ft_fftw(), &report);
+  parallel::parallel_fft(p, x, opts, &report);
   // Three transposes, each sending (p-1) blocks of (bsz + 2) complex.
   const std::size_t bsz = n / (p * p);
   EXPECT_EQ(report.bytes_per_rank,
