@@ -15,7 +15,9 @@
 // finish the previous one). The run ends with the per-cache plan
 // statistics snapshot (ftfft::plan_cache_stats) so FTFFT_PLAN_CACHE_CAP
 // can be tuned from observed hit/miss/eviction rates.
+#include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -216,6 +218,72 @@ int main() {
                                       0),
                   speedup});
     pipe.print();
+  }
+
+  // ----------------------------------------------- scheduler observability
+  // The admission-control counters a serving deployment scrapes: replay
+  // the job stream as mixed-priority traffic (every third job high, every
+  // third low and sheddable, deadlines on the high class) and print the
+  // per-class scheduler snapshot — the feed for FTFFT_ENGINE_QUEUE_CAP and
+  // the priority/deadline defaults.
+  {
+    const std::size_t jobs = 24;
+    const std::size_t lanes_per_job = 4;
+    engine::BatchEngine eng(hw);
+    engine::BatchOptions opts;
+    opts.abft = abft::Options::online_opt(true);
+    std::vector<std::vector<cplx>> ins(jobs * lanes_per_job);
+    std::vector<std::vector<cplx>> outs(jobs * lanes_per_job,
+                                        std::vector<cplx>(n));
+    std::vector<engine::Lane> all_lanes(jobs * lanes_per_job);
+    for (std::size_t l = 0; l < all_lanes.size(); ++l) {
+      ins[l] = inputs[l % lanes];
+      all_lanes[l] = {ins[l].data(), outs[l].data(), nullptr};
+    }
+    std::vector<engine::BatchFuture> futures;
+    futures.reserve(jobs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+      switch (j % 3) {
+        case 0:
+          opts.submit.priority = engine::Priority::kHigh;
+          opts.submit.deadline = std::chrono::seconds(5);
+          opts.submit.cancellable = false;
+          break;
+        case 1:
+          opts.submit.priority = engine::Priority::kNormal;
+          opts.submit.deadline = std::chrono::nanoseconds{-1};
+          opts.submit.cancellable = false;
+          break;
+        default:
+          opts.submit.priority = engine::Priority::kLow;
+          opts.submit.deadline = std::chrono::nanoseconds{-1};
+          opts.submit.cancellable = true;
+          break;
+      }
+      futures.push_back(eng.submit_batch(
+          {all_lanes.data() + j * lanes_per_job, lanes_per_job}, n, opts));
+    }
+    for (auto& f : futures) (void)f.get();
+    const auto st = eng.scheduler_stats();
+    std::printf("\nper-class scheduler statistics (%zu mixed-priority jobs, "
+                "queue cap %s)\n\n",
+                jobs,
+                st.queue_cap == 0 ? "unbounded"
+                                  : std::to_string(st.queue_cap).c_str());
+    TablePrinter sched({"class", "jobs", "lanes", "shed", "expired",
+                        "queue p50 (us)", "queue p99 (us)", "run p99 (ms)"});
+    for (const auto p : {engine::Priority::kHigh, engine::Priority::kNormal,
+                         engine::Priority::kLow}) {
+      const auto& c = st.at(p);
+      sched.add_row({engine::priority_name(p), std::to_string(c.jobs_completed),
+                     std::to_string(c.lanes_completed),
+                     std::to_string(c.shed_lanes),
+                     std::to_string(c.deadline_expired_lanes),
+                     TablePrinter::fixed(c.queue_wait.p50 * 1e6, 1),
+                     TablePrinter::fixed(c.queue_wait.p99 * 1e6, 1),
+                     TablePrinter::fixed(c.run.p99 * 1e3, 2)});
+    }
+    sched.print();
   }
 
   std::printf("\nradix-4 vs radix-2 in-place kernel (single transform)\n\n");

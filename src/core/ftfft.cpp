@@ -60,10 +60,21 @@ engine::BatchReport transform_batch(std::span<const engine::Lane> lanes,
 }
 
 engine::BatchFuture submit_batch(std::span<const engine::Lane> lanes,
-                                 std::size_t n, const PlanConfig& config) {
+                                 std::size_t n, const PlanConfig& config,
+                                 const engine::SubmitOptions& submit) {
   engine::BatchOptions opts;
   opts.abft = make_abft_options(config);
+  opts.submit = submit;
   return engine::BatchEngine::shared().submit_batch(lanes, n, opts);
+}
+
+std::optional<engine::BatchFuture> try_submit_batch(
+    std::span<const engine::Lane> lanes, std::size_t n,
+    const PlanConfig& config, const engine::SubmitOptions& submit) {
+  engine::BatchOptions opts;
+  opts.abft = make_abft_options(config);
+  opts.submit = submit;
+  return engine::BatchEngine::shared().try_submit_batch(lanes, n, opts);
 }
 
 std::size_t warm_plans(std::span<const std::size_t> sizes,
@@ -157,15 +168,29 @@ engine::BatchReport transform_real_batch(
 
 engine::BatchFuture submit_real_batch(std::span<const engine::RealLane> lanes,
                                       std::size_t n, engine::RealDirection dir,
-                                      const PlanConfig& config) {
+                                      const PlanConfig& config,
+                                      const engine::SubmitOptions& submit) {
   engine::BatchOptions opts;
   opts.abft = make_abft_options(config);
+  opts.submit = submit;
   return engine::BatchEngine::shared().submit_real_batch(lanes, n, dir, opts);
 }
 
+std::optional<engine::BatchFuture> try_submit_real_batch(
+    std::span<const engine::RealLane> lanes, std::size_t n,
+    engine::RealDirection dir, const PlanConfig& config,
+    const engine::SubmitOptions& submit) {
+  engine::BatchOptions opts;
+  opts.abft = make_abft_options(config);
+  opts.submit = submit;
+  return engine::BatchEngine::shared().try_submit_real_batch(lanes, n, dir,
+                                                             opts);
+}
+
 engine::BatchFuture FtPlan::submit_batch(
-    std::span<const engine::Lane> lanes) const {
-  return ftfft::submit_batch(lanes, n_, config_);
+    std::span<const engine::Lane> lanes,
+    const engine::SubmitOptions& submit) const {
+  return ftfft::submit_batch(lanes, n_, config_, submit);
 }
 
 abft::Options FtPlan::abft_options() const {

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -81,9 +82,21 @@ engine::BatchReport transform_batch(std::span<const engine::Lane> lanes,
 /// but the buffers they point to must stay alive until the future is
 /// ready. Thread-safe: any number of serving threads may submit
 /// concurrently.
+/// `submit` carries the serving-grade scheduling knobs — priority class,
+/// deadline, shedding eligibility and admission timeout (see
+/// engine::SubmitOptions); the default is the engine's env-configured
+/// class with no deadline.
 engine::BatchFuture submit_batch(std::span<const engine::Lane> lanes,
-                                 std::size_t n,
-                                 const PlanConfig& config = {});
+                                 std::size_t n, const PlanConfig& config = {},
+                                 const engine::SubmitOptions& submit = {});
+
+/// Non-blocking admission on the shared engine: when the pending-lane cap
+/// (FTFFT_ENGINE_QUEUE_CAP) is reached and shedding cannot make room,
+/// returns an empty optional immediately instead of waiting — the serving
+/// front door's fail-fast path. Misuse still throws std::invalid_argument.
+std::optional<engine::BatchFuture> try_submit_batch(
+    std::span<const engine::Lane> lanes, std::size_t n,
+    const PlanConfig& config = {}, const engine::SubmitOptions& submit = {});
 
 /// Pre-resolves every plan a serving layer with a known size distribution
 /// will need — FFT decomposition plans (including the sub-FFT sizes the
@@ -115,10 +128,18 @@ engine::BatchReport transform_real_batch(
     engine::RealDirection dir, const PlanConfig& config = {});
 
 /// Queues the real batch on the process-wide shared BatchEngine and
-/// returns immediately; same buffer-lifetime contract as submit_batch.
+/// returns immediately; same buffer-lifetime contract and scheduling
+/// knobs as submit_batch.
 engine::BatchFuture submit_real_batch(std::span<const engine::RealLane> lanes,
                                       std::size_t n, engine::RealDirection dir,
-                                      const PlanConfig& config = {});
+                                      const PlanConfig& config = {},
+                                      const engine::SubmitOptions& submit = {});
+
+/// Non-blocking admission for real batches (see try_submit_batch).
+std::optional<engine::BatchFuture> try_submit_real_batch(
+    std::span<const engine::RealLane> lanes, std::size_t n,
+    engine::RealDirection dir, const PlanConfig& config = {},
+    const engine::SubmitOptions& submit = {});
 
 /// A reusable soft-error-protected transform of one size.
 ///
@@ -150,9 +171,11 @@ class FtPlan {
   /// BatchEngine and returns immediately (see ftfft::submit_batch). Unlike
   /// forward(), this does not touch the plan's per-execution statistics —
   /// per-lane stats arrive in the future's BatchReport — so one FtPlan may
-  /// issue submissions from many threads.
+  /// issue submissions from many threads. `submit` carries the scheduling
+  /// class/deadline/shedding knobs.
   [[nodiscard]] engine::BatchFuture submit_batch(
-      std::span<const engine::Lane> lanes) const;
+      std::span<const engine::Lane> lanes,
+      const engine::SubmitOptions& submit = {}) const;
 
   /// Statistics of the most recent execution on this plan.
   [[nodiscard]] const abft::Stats& last_stats() const { return stats_; }

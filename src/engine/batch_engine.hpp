@@ -1,20 +1,49 @@
-// Queued, multi-threaded execution of protected transforms.
+// Queued, multi-threaded execution of protected transforms with
+// serving-grade admission control.
 //
 // The paper's online ABFT scheme protects one transform at a time; a
 // production deployment runs many independent transforms ("lanes") in
 // flight at once, and a serving layer on top of it cannot afford to block
 // a request thread for every batch. BatchEngine therefore separates
 // submission from completion: submit_batch() validates a batch, resolves
-// its shared ProtectionPlan(s), appends a heap-owned job to an intrusive
-// FIFO work queue and immediately returns a BatchFuture. A persistent pool
+// its shared ProtectionPlan(s), appends a heap-owned job to a per-class
+// work queue and immediately returns a BatchFuture. A persistent pool
 // of worker threads pulls lanes across all queued jobs — lanes of a job
 // are claimed from its atomic cursor in contiguous chunks, and a worker
-// that exhausts the front job's cursor moves on to the next job while
+// that exhausts a job's cursor moves on to the next job while
 // stragglers finish the previous one, so checksum setup, transform and
 // verification of consecutive batches overlap (the CPU analogue of
 // TurboFFT's pipelined batching). The blocking transform_batch() and
 // transform_one() are thin wrappers that submit and wait; there is exactly
 // one execution path.
+//
+// Scheduling is something you could put behind an RPC front door:
+//
+//  * Priority classes + EDF. Every submission carries SubmitOptions — a
+//    priority class, an optional deadline and a cancellable marker.
+//    Workers always claim from the highest-priority non-empty class;
+//    within a class, jobs with deadlines run earliest-deadline-first
+//    ahead of deadline-free jobs, which keep FIFO order among
+//    themselves. Workers re-consult the scheduler between lane chunks,
+//    so a high-priority arrival overtakes a half-drained low-priority
+//    job at the next chunk boundary (no preemption of running lanes).
+//  * Bounded-queue backpressure. FTFFT_ENGINE_QUEUE_CAP (or
+//    set_queue_cap) bounds the pending-lane count — lanes, not jobs, so
+//    a 1000-lane batch occupies 1000 slots. When full, try_submit_*
+//    return an empty optional immediately, and the blocking submit_*
+//    wait for space up to SubmitOptions::admission_timeout, then throw
+//    QueueFullError.
+//  * Deadline enforcement. A lane whose job deadline passes before it
+//    starts fails fast with DeadlineExceededError — queued work is never
+//    silently run late. Lanes already executing run to completion.
+//  * Load shedding. When admission finds the queue full, it sheds
+//    not-yet-started lanes of queued *cancellable* jobs of any class
+//    strictly below the incoming submission's, via the same skip path as
+//    BatchTicket::cancel (CancelledError per lane, counted as
+//    shed_lanes), before rejecting or blocking.
+//  * Observability. BatchReport carries the job's queue-wait and run
+//    latency; scheduler_stats() aggregates per-class latency percentiles
+//    and admission/shed/expiry counters engine-wide.
 //
 // Shared, immutable state (decomposition plans, twiddle tables, and the
 // ABFT ProtectionPlan with its checksum vectors and threshold coefficients)
@@ -31,11 +60,13 @@
 // is recorded in the report and does not disturb the other lanes.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -85,6 +116,48 @@ enum class RealDirection {
   kInverse,  ///< c2r: spec -> re (1/n-normalized real inverse)
 };
 
+/// Priority class of a submission. Lower value = more urgent; workers
+/// always drain the highest non-empty class first. kDefault resolves to
+/// FTFFT_ENGINE_DEFAULT_PRIORITY ("high" | "normal" | "low"; normal when
+/// unset), read at engine construction.
+enum class Priority : int {
+  kHigh = 0,    ///< latency-sensitive serving traffic
+  kNormal = 1,  ///< the default class
+  kLow = 2,     ///< batch/background work; first in line for shedding
+  kDefault = 3  ///< resolve from the environment at submission
+};
+
+/// Number of real scheduling classes (kDefault is a resolution marker).
+inline constexpr std::size_t kNumPriorities = 3;
+
+/// Stable lowercase class name ("high" | "normal" | "low") for logs and
+/// bench tables.
+const char* priority_name(Priority p) noexcept;
+
+/// Per-submission scheduling knobs, carried by BatchOptions::submit and by
+/// the submit_tasks parameter.
+struct SubmitOptions {
+  /// Scheduling class; kDefault resolves from FTFFT_ENGINE_DEFAULT_PRIORITY.
+  Priority priority = Priority::kDefault;
+  /// Completion budget relative to submission. A lane that has not started
+  /// when the deadline passes fails fast with DeadlineExceededError (lanes
+  /// already executing finish). 0 inherits FTFFT_ENGINE_DEFAULT_DEADLINE_MS
+  /// (unset/0 = no deadline); negative = explicitly no deadline. Within a
+  /// class, deadlined jobs run earliest-deadline-first ahead of
+  /// deadline-free ones.
+  std::chrono::nanoseconds deadline{0};
+  /// Marks this submission's not-yet-started lanes as sheddable: when the
+  /// queue is full, admission of a strictly higher-priority job may skip
+  /// them (CancelledError per lane, counted in BatchReport::shed_lanes)
+  /// instead of rejecting the newcomer.
+  bool cancellable = false;
+  /// How long a blocking submit_* may wait for queue space when the
+  /// pending-lane cap is reached before throwing QueueFullError: negative
+  /// (default) = wait as long as it takes, 0 = fail immediately, positive
+  /// = bounded wait. Ignored by try_submit_* (always immediate).
+  std::chrono::nanoseconds admission_timeout{-1};
+};
+
 /// Batch-wide execution knobs beyond the per-lane ABFT options.
 struct BatchOptions {
   /// Protection configuration applied to every lane.
@@ -95,15 +168,60 @@ struct BatchOptions {
   /// Stage every lane input through the worker arena so the caller's input
   /// buffers are never written (fault repair then fixes the staged copy).
   bool preserve_inputs = false;
+  /// Scheduling class, deadline, shedding eligibility, admission timeout.
+  SubmitOptions submit{};
+};
+
+/// Nearest-rank percentiles over the most recent latency samples of one
+/// class (bounded ring; seconds). count is the lifetime sample count.
+struct LatencyPercentiles {
+  std::size_t count = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Scheduler counters and latency distributions for one priority class.
+struct PriorityClassStats {
+  std::size_t jobs_submitted = 0;  ///< admitted (queued or run inline)
+  std::size_t jobs_completed = 0;  ///< futures fulfilled
+  std::size_t jobs_rejected = 0;   ///< try_submit refusals + QueueFullError
+  std::size_t lanes_submitted = 0;
+  std::size_t lanes_completed = 0;  ///< executed (success or lane failure)
+  std::size_t lanes_cancelled = 0;  ///< skipped via BatchTicket::cancel
+  std::size_t shed_lanes = 0;       ///< skipped by overload shedding
+  std::size_t deadline_expired_lanes = 0;  ///< failed fast past deadline
+  LatencyPercentiles queue_wait;  ///< submission -> first worker claim
+  LatencyPercentiles run;         ///< first claim -> future fulfilled
+};
+
+/// Engine-wide scheduler snapshot (see BatchEngine::scheduler_stats).
+struct SchedulerStats {
+  std::array<PriorityClassStats, kNumPriorities> classes{};
+  std::size_t queue_cap = 0;       ///< pending-lane bound; 0 = unbounded
+  std::size_t pending_lanes = 0;   ///< lanes admitted but not yet retired
+
+  [[nodiscard]] const PriorityClassStats& at(Priority p) const {
+    return classes.at(static_cast<std::size_t>(p));
+  }
 };
 
 /// What the fault tolerance did across a whole batch.
 struct BatchReport {
   std::size_t lanes = 0;         ///< lanes submitted
   std::size_t failed_lanes = 0;  ///< lanes whose transform threw or was
-                                 ///< cancelled
+                                 ///< cancelled/shed/expired
   std::size_t cancelled_lanes = 0;  ///< lanes skipped by BatchTicket::cancel
                                     ///< (also counted in failed_lanes)
+  std::size_t shed_lanes = 0;  ///< lanes skipped by overload shedding
+                               ///< (CancelledError; also in failed_lanes)
+  std::size_t deadline_expired_lanes = 0;  ///< lanes failed fast past the
+                                           ///< deadline (DeadlineExceededError;
+                                           ///< also in failed_lanes)
+  Priority priority = Priority::kNormal;  ///< resolved scheduling class
+  double queue_wait_seconds = 0.0;  ///< submission -> first worker claim
+  double run_seconds = 0.0;         ///< first claim -> completion
   abft::Stats totals;            ///< element-wise sum over per_lane
   std::vector<abft::Stats> per_lane;
   /// Empty string = lane succeeded; otherwise the exception message.
@@ -147,14 +265,18 @@ class BatchFuture {
 
   [[nodiscard]] bool valid() const noexcept { return shared_ != nullptr; }
 
-  /// True once the report (or exception) is available. Throws
-  /// std::invalid_argument on an invalid future.
+  /// True once the report (or exception) is available. Lock-free once the
+  /// batch completed (one acquire load). Throws std::invalid_argument on an
+  /// invalid future.
   [[nodiscard]] bool ready() const;
 
-  /// Blocks until the batch completes.
+  /// Blocks until the batch completes. Returns without touching the lock
+  /// when already ready.
   void wait() const;
 
-  /// Blocks up to `timeout`; returns ready().
+  /// Blocks up to `timeout`; returns ready(). A zero or negative timeout is
+  /// a pure poll — no lock, no wait — and an already-ready future returns
+  /// true without locking regardless of the timeout.
   bool wait_for(std::chrono::nanoseconds timeout) const;
 
   /// Blocks until completion, then moves the report out (rethrows the
@@ -185,13 +307,15 @@ class BatchFuture {
 /// Reusable multi-threaded engine for batches of protected transforms.
 ///
 /// Workers are spawned lazily on the first submission and parked on a
-/// condition variable while the queue is empty, so an engine is cheap to
+/// condition variable while the queues are empty, so an engine is cheap to
 /// construct. Submission is thread-safe: any number of threads may call
-/// submit_batch / transform_batch concurrently; jobs are executed in FIFO
-/// claim order and may complete out of order (a small job queued behind a
-/// large one finishes as soon as its lanes are done). Destroying the
-/// engine drains the queue: every submitted job runs to completion and
-/// every future is fulfilled before the destructor returns.
+/// submit_batch / transform_batch concurrently; jobs are claimed highest
+/// priority class first (EDF within a class, FIFO among deadline-free
+/// jobs) and may complete out of order (a small job queued behind a large
+/// one finishes as soon as its lanes are done). Destroying the engine
+/// drains the queues: every admitted job runs to completion (or fails fast
+/// past its deadline) and every future is fulfilled before the destructor
+/// returns — no future is ever dropped.
 class BatchEngine {
  public:
   /// num_threads = 0 honors FTFFT_ENGINE_THREADS, then falls back to
@@ -207,6 +331,23 @@ class BatchEngine {
   /// Jobs submitted but not yet completed (queued or executing).
   [[nodiscard]] std::size_t pending_jobs() const noexcept;
 
+  /// Pending-lane bound enforced at admission (0 = unbounded). Initialized
+  /// from FTFFT_ENGINE_QUEUE_CAP at construction.
+  [[nodiscard]] std::size_t queue_cap() const;
+
+  /// Replaces the pending-lane bound at runtime (0 = unbounded). Raising
+  /// the cap wakes submitters blocked on admission.
+  void set_queue_cap(std::size_t cap);
+
+  /// Snapshot of the per-class scheduler counters and latency percentiles.
+  /// Cheap enough for a monitoring loop (copies the bounded sample rings
+  /// under a stats lock that workers touch once per job).
+  [[nodiscard]] SchedulerStats scheduler_stats() const;
+
+  /// Zeroes the scheduler counters and latency rings (tests, epoch-based
+  /// monitoring). Does not touch the queue or the cap.
+  void reset_scheduler_stats();
+
   /// Total staging currently held across the per-worker arenas, in complex
   /// elements. Arenas grow to the largest lane staged through them and are
   /// trimmed back after consecutive jobs whose demand stayed far below
@@ -215,7 +356,10 @@ class BatchEngine {
   [[nodiscard]] std::size_t staging_capacity() const;
 
   /// Queues the protected n-point transform of every lane and returns
-  /// immediately. The lane descriptors are copied; the in/out buffers they
+  /// once admitted — immediately while the pending-lane count is under the
+  /// queue cap; otherwise after shedding/waiting per opts.submit (throws
+  /// QueueFullError when the admission timeout elapses with the queue
+  /// still full). The lane descriptors are copied; the in/out buffers they
   /// point to must stay alive until the future is ready. Lane failures are
   /// reported, not thrown; misuse (n == 0, null lane pointers) throws
   /// std::invalid_argument synchronously before anything is queued. A
@@ -229,6 +373,16 @@ class BatchEngine {
   /// in + L*n and writing out + L*n (out == nullptr → in place).
   BatchFuture submit_batch(cplx* in, cplx* out, std::size_t n,
                            std::size_t count, const BatchOptions& opts = {});
+
+  /// Non-blocking admission: like submit_batch, but when the pending-lane
+  /// cap is reached (and shedding cannot make room) returns an empty
+  /// optional immediately instead of waiting — the try-form of the
+  /// QueueFullError the blocking submit would throw. Misuse still throws
+  /// std::invalid_argument synchronously. SubmitOptions::admission_timeout
+  /// is ignored (always immediate).
+  std::optional<BatchFuture> try_submit_batch(std::span<const Lane> lanes,
+                                              std::size_t n,
+                                              const BatchOptions& opts = {});
 
   /// Queues the protected real n-point transform (r2c or c2r per `dir`) of
   /// every lane through the same worker pool, FIFO queue and completion
@@ -250,6 +404,11 @@ class BatchEngine {
                                 std::size_t count, RealDirection dir,
                                 const BatchOptions& opts = {});
 
+  /// Non-blocking admission for real batches (see try_submit_batch).
+  std::optional<BatchFuture> try_submit_real_batch(
+      std::span<const RealLane> lanes, std::size_t n, RealDirection dir,
+      const BatchOptions& opts = {});
+
   /// Blocking convenience: submit_real_batch(...).get(), with the same
   /// single-lane inline fast path as transform_batch (real lanes never
   /// stage, so one lane always qualifies).
@@ -268,10 +427,18 @@ class BatchEngine {
   /// parallel FFT runs its rank phases on the pool (parallel/sharded_fft):
   /// phase work items are plain callables, not transform lanes, so they
   /// must not re-enter this engine synchronously (a blocking wait inside
-  /// fn on this engine's own futures can deadlock the pool).
+  /// fn on this engine's own futures can deadlock the pool). `submit`
+  /// carries the scheduling class/deadline/shedding marker exactly like
+  /// BatchOptions::submit does for transform batches.
   BatchFuture submit_tasks(std::size_t count,
                            std::function<void(std::size_t, abft::Stats&)> fn,
+                           const SubmitOptions& submit = {},
                            std::size_t chunk = 0);
+
+  /// Non-blocking admission for task fan-outs (see try_submit_batch).
+  std::optional<BatchFuture> try_submit_tasks(
+      std::size_t count, std::function<void(std::size_t, abft::Stats&)> fn,
+      const SubmitOptions& submit = {}, std::size_t chunk = 0);
 
   /// Blocking convenience: submit_batch(...).get(), with one shortcut — a
   /// single lane that needs no staging (no preserve_inputs, out != in)
@@ -301,5 +468,10 @@ class BatchEngine {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+/// Scheduler snapshot of the process-wide shared engine — the serving
+/// front door's monitoring hook (per-class queue-wait/run percentiles,
+/// admission rejections, shed and expired lane counts).
+[[nodiscard]] SchedulerStats scheduler_stats();
 
 }  // namespace ftfft::engine

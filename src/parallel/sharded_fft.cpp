@@ -128,14 +128,21 @@ struct PooledBlock {
   std::unique_ptr<double[]> mem;
 };
 
+// Both statics are intentionally immortal (heap-allocated, never freed):
+// the last reference to a ShardedState can be dropped by an engine worker
+// inside future fulfillment — after the waiter's get() has already
+// returned — so ~ShardedState's scratch_put can run while the main thread
+// is in atexit teardown. A function-local static vector would be destroyed
+// there and the late put would write into freed storage; a leaked one is
+// reachable until process exit and always safe to push into.
 std::mutex& pool_mu() {
-  static std::mutex mu;
-  return mu;
+  static std::mutex* mu = new std::mutex;
+  return *mu;
 }
 
 std::vector<PooledBlock>& pool() {
-  static std::vector<PooledBlock> blocks;
-  return blocks;
+  static std::vector<PooledBlock>* blocks = new std::vector<PooledBlock>;
+  return *blocks;
 }
 
 std::unique_ptr<double[]> scratch_take(std::size_t doubles) {
@@ -645,11 +652,24 @@ void on_phase_done(const std::shared_ptr<ShardedState>& st, int phase,
 
 void start_phase(const std::shared_ptr<ShardedState>& st, int phase) {
   st->phase_start = std::chrono::steady_clock::now();
+  // Rank phases run at high priority, non-cancellable and deadline-free:
+  // a phase fan-out is continuation work for a transform that already
+  // holds scratch and partial state, so it must be neither starved behind
+  // newly arriving batches nor shed/expired mid-pipeline (a rank restart
+  // resubmits through here and has to win queue position to make the
+  // failover budget meaningful). Phases submitted from worker callbacks
+  // additionally bypass the admission cap (see BatchEngine's pool-thread
+  // rule), so a saturated queue cannot deadlock the chain.
+  engine::SubmitOptions rank_submit;
+  rank_submit.priority = engine::Priority::kHigh;
+  rank_submit.deadline = std::chrono::nanoseconds{-1};
+  rank_submit.cancellable = false;
   st->eng
       ->submit_tasks(st->p,
                      [st, phase](std::size_t r, abft::Stats&) {
                        run_phase(*st, phase, r);
-                     })
+                     },
+                     rank_submit)
       .then([st, phase](engine::BatchReport& rep) {
         on_phase_done(st, phase, rep);
       });

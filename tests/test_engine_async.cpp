@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
@@ -508,6 +509,48 @@ TEST(WarmPlans, SkipsUnsupportedVariantsInsteadOfThrowing)
   // n = 1 is a degenerate no-op size.
   const std::size_t one = 1;
   (void)warm_plans({&one, 1});
+}
+
+// ------------------------------------------------------ wait_for edge cases
+
+TEST(AsyncEngine, WaitForZeroOrNegativeTimeoutIsAPoll) {
+  engine::BatchEngine eng(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  auto fut = eng.submit_tasks(1, [&](std::size_t, abft::Stats&) {
+    std::unique_lock lk(mu);
+    cv.wait(lk, [&] { return open; });
+  });
+
+  // The job is parked on the latch: zero and negative timeouts answer
+  // "not ready" immediately instead of blocking for any duration.
+  EXPECT_FALSE(fut.wait_for(std::chrono::nanoseconds::zero()));
+  EXPECT_FALSE(fut.wait_for(std::chrono::milliseconds(-5)));
+  EXPECT_FALSE(fut.ready());
+  // A short positive timeout genuinely waits, then reports not-ready.
+  EXPECT_FALSE(fut.wait_for(std::chrono::milliseconds(1)));
+
+  {
+    std::scoped_lock lk(mu);
+    open = true;
+  }
+  cv.notify_all();
+  fut.wait();
+  // Ready futures answer true for any timeout, including the poll forms
+  // (single acquire load, no lock).
+  EXPECT_TRUE(fut.wait_for(std::chrono::nanoseconds::zero()));
+  EXPECT_TRUE(fut.wait_for(std::chrono::milliseconds(-1)));
+  EXPECT_TRUE(fut.wait_for(std::chrono::minutes(1)));
+  EXPECT_TRUE(fut.get().all_ok());
+}
+
+TEST(AsyncEngine, WaitForOnInvalidFutureThrowsInvalidArgument) {
+  engine::BatchFuture fut;  // default-constructed: no associated batch
+  EXPECT_FALSE(fut.valid());
+  EXPECT_THROW((void)fut.wait_for(std::chrono::nanoseconds::zero()),
+               std::invalid_argument);
+  EXPECT_THROW((void)fut.ready(), std::invalid_argument);
 }
 
 // ------------------------------------------------------- plan cache stats
